@@ -1,0 +1,72 @@
+//! Criterion front-end for the paper's figures, at reduced budget: one
+//! bench per figure/table so `cargo bench` exercises every experiment.
+//! For the full-size runs (and the actual printed tables), use the
+//! dedicated binaries: `fig7`, `fig8`, `fig9`, `headline`, `width_sweep`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spt_bench::runner::{run_workload, suite_matrix};
+use spt_core::{Config, ThreatModel};
+use spt_workloads::{ct_suite, spec_suite, Scale};
+
+const BUDGET: u64 = 2_000;
+
+fn fig7_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    // A representative 3-workload slice of the Figure-7 sweep.
+    let suite: Vec<_> = {
+        let mut v = spec_suite(Scale::Bench);
+        v.truncate(2);
+        v.extend(ct_suite(Scale::Bench).into_iter().take(1));
+        v
+    };
+    for threat in [ThreatModel::Futuristic, ThreatModel::Spectre] {
+        g.bench_function(format!("sweep_{threat}"), |b| {
+            b.iter(|| criterion::black_box(suite_matrix(threat, &suite, BUDGET, false)))
+        });
+    }
+    g.finish();
+}
+
+fn fig8_events(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    let w = &spec_suite(Scale::Bench)[0];
+    g.bench_function("untaint_breakdown_perlbench", |b| {
+        b.iter(|| {
+            let row = run_workload(w, Config::spt_full(ThreatModel::Futuristic), BUDGET);
+            criterion::black_box(row.stats.spt.events.total())
+        })
+    });
+    g.finish();
+}
+
+fn fig9_census(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    let w = &spec_suite(Scale::Bench)[0];
+    g.bench_function("ideal_census_perlbench", |b| {
+        b.iter(|| {
+            let row = run_workload(w, Config::spt_ideal(ThreatModel::Futuristic), BUDGET);
+            criterion::black_box(row.stats.spt.cdf_at_most(3))
+        })
+    });
+    g.finish();
+}
+
+fn width_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("width_sweep");
+    g.sample_size(10);
+    let w = &spec_suite(Scale::Bench)[0];
+    for width in [1usize, 3, 8] {
+        g.bench_function(format!("width_{width}"), |b| {
+            let mut cfg = Config::spt_full(ThreatModel::Futuristic);
+            cfg.broadcast_width = width;
+            b.iter(|| criterion::black_box(run_workload(w, cfg, BUDGET).cycles))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig7_sweep, fig8_events, fig9_census, width_ablation);
+criterion_main!(benches);

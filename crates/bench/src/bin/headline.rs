@@ -1,0 +1,86 @@
+//! Regenerates the paper's §9.2 headline numbers from the Figure-7 sweep:
+//!
+//! * SPT overhead vs UnsafeBaseline (paper: 45% Futuristic / 11% Spectre);
+//! * overhead reduction vs SecureBaseline (paper: 3.6× / 3×);
+//! * forward-only reduction (paper: 3.1× / 1.9×);
+//! * backward / shadow-L1 / shadow-mem incremental deltas (percentage pts);
+//! * constant-time kernels: SecureBaseline vs SPT (paper: 2.8× → 1.10×,
+//!   an 18× overhead reduction);
+//! * extra overhead vs STT's narrower scope (paper: 26.1 / 3.3 pts).
+//!
+//! ```text
+//! cargo run -p spt-bench --release --bin headline -- [--budget N]
+//! ```
+
+use spt_bench::report::{overhead_pct, ratio};
+use spt_bench::runner::{bench_suite, suite_matrix, DEFAULT_BUDGET};
+use spt_core::ThreatModel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut budget = DEFAULT_BUDGET;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--budget" => {
+                i += 1;
+                budget = args[i].parse().expect("--budget takes a number");
+            }
+            other => {
+                eprintln!("unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let suite = bench_suite();
+    for model in [ThreatModel::Futuristic, ThreatModel::Spectre] {
+        eprintln!("== running sweep for {model} ==");
+        let m = suite_matrix(model, &suite, budget, false);
+        let all: Vec<usize> = (0..suite.len()).collect();
+        let ct = m.ct_indices(&suite);
+
+        let idx = |name: &str| m.config_index(name).expect("table-2 config");
+        let secure = idx("SecureBaseline");
+        let fwd = idx("SPT{Fwd,NoShadowL1}");
+        let bwd = idx("SPT{Bwd,NoShadowL1}");
+        let full = idx("SPT{Bwd,ShadowL1}");
+        let smem = idx("SPT{Bwd,ShadowMem}");
+        let ideal = idx("SPT{Ideal,ShadowMem}");
+        let stt = idx("STT");
+
+        let mean = |c: usize| m.mean_over(c, &all);
+        let oh = |c: usize| mean(c) - 1.0;
+        let pts = |a: usize, b: usize| (mean(a) - mean(b)) * 100.0;
+
+        println!("\n=== Headline numbers, {model} model (paper §9.2) ===");
+        println!("SPT{{Bwd,ShadowL1}} overhead vs UnsafeBaseline : {}", overhead_pct(mean(full)));
+        println!("SecureBaseline overhead vs UnsafeBaseline    : {}", overhead_pct(mean(secure)));
+        println!(
+            "overhead reduction, SPT vs SecureBaseline    : {}",
+            ratio(oh(secure) / oh(full).max(1e-9))
+        );
+        println!(
+            "overhead reduction, Fwd-only vs SecureBase   : {}",
+            ratio(oh(secure) / oh(fwd).max(1e-9))
+        );
+        println!("backward untainting gain (Fwd -> Bwd)        : {:+.1} pts", pts(fwd, bwd));
+        println!("shadow-L1 gain (Bwd -> ShadowL1)             : {:+.1} pts", pts(bwd, full));
+        println!("shadow-mem gain (ShadowL1 -> ShadowMem)      : {:+.1} pts", pts(full, smem));
+        println!("ideal-propagation gain (ShadowMem -> Ideal)  : {:+.1} pts", pts(smem, ideal));
+        println!("extra overhead vs STT (scope cost)           : {:+.1} pts", pts(full, stt));
+
+        let ct_secure = m.mean_over(secure, &ct);
+        let ct_full = m.mean_over(full, &ct);
+        println!("constant-time kernels, SecureBaseline        : {:.2}x", ct_secure);
+        println!("constant-time kernels, SPT                   : {:.2}x", ct_full);
+        println!(
+            "CT overhead reduction                        : {}",
+            ratio((ct_secure - 1.0) / (ct_full - 1.0).max(1e-9))
+        );
+    }
+    println!("\n(Compare against paper §9.2: 45%/11% SPT overhead, 3.6x/3x vs SecureBaseline,");
+    println!(" 3.1x/1.9x for Fwd-only, CT kernels 2.8x -> 1.10x = 18x reduction,");
+    println!(" +26.1/+3.3 pts vs STT in the Futuristic/Spectre models respectively.)");
+}

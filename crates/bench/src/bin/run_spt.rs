@@ -1,0 +1,148 @@
+//! A command-line front-end mirroring the paper artifact's `run_spt.py`
+//! interface (appendix A.4): pick a workload and a protection
+//! configuration with the same flags the gem5 artifact used, and get a
+//! `stats.txt`-style dump.
+//!
+//! ```text
+//! cargo run -p spt-bench --release --bin run_spt -- \
+//!     --executable perlbench --enable-spt --threat-model futuristic \
+//!     --untaint-method bwd --enable-shadow-l1 [--budget N] [--track-insts]
+//! ```
+//!
+//! | artifact flag | here |
+//! |---|---|
+//! | `--executable <path>` | `--executable <workload name>` (see `--list`) |
+//! | `--enable-spt` | same |
+//! | `--threat-model spectre\|futuristic` | same |
+//! | `--untaint-method none\|fwd\|bwd\|ideal` | same |
+//! | `--enable-shadow-l1` / `--enable-shadow-mem` | same (mutually exclusive) |
+//! | `--track-insts` | prints the untaint-event breakdown |
+//! | `--output-dir` | stdout (redirect as needed) |
+//!
+//! Omitting `--enable-spt` gives the UnsafeBaseline, exactly as in the
+//! artifact ("to run InsecureBaseline, simply provide the --executable and
+//! nothing else"). `--stt` selects the STT comparison design.
+
+use spt_bench::runner::run_workload;
+use spt_core::{Config, ShadowMode, ThreatModel, UntaintMethod};
+use spt_workloads::{full_suite, Scale};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: run_spt --executable <workload> [--enable-spt] [--stt]\n\
+         \x20      [--threat-model spectre|futuristic] [--untaint-method none|fwd|bwd|ideal]\n\
+         \x20      [--enable-shadow-l1 | --enable-shadow-mem] [--budget N] [--track-insts]\n\
+         \x20      [--list]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut executable: Option<String> = None;
+    let mut enable_spt = false;
+    let mut stt = false;
+    let mut threat = ThreatModel::Futuristic;
+    let mut untaint: Option<UntaintMethod> = None;
+    let mut shadow = ShadowMode::None;
+    let mut budget = 30_000u64;
+    let mut track_insts = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--executable" => {
+                i += 1;
+                executable = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--enable-spt" => enable_spt = true,
+            "--stt" => stt = true,
+            "--threat-model" => {
+                i += 1;
+                threat = match args.get(i).map(String::as_str) {
+                    Some("spectre") => ThreatModel::Spectre,
+                    Some("futuristic") => ThreatModel::Futuristic,
+                    _ => usage(),
+                };
+            }
+            "--untaint-method" => {
+                i += 1;
+                untaint = Some(match args.get(i).map(String::as_str) {
+                    Some("none") => UntaintMethod::None,
+                    Some("fwd") => UntaintMethod::Fwd,
+                    Some("bwd") => UntaintMethod::Bwd,
+                    Some("ideal") => UntaintMethod::Ideal,
+                    _ => usage(),
+                });
+            }
+            "--enable-shadow-l1" => shadow = ShadowMode::L1,
+            "--enable-shadow-mem" => shadow = ShadowMode::Mem,
+            "--budget" => {
+                i += 1;
+                budget = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--track-insts" => track_insts = true,
+            "--list" => {
+                println!("available workloads:");
+                for w in full_suite(Scale::Bench) {
+                    println!("  {:<12} {}", w.name, w.description);
+                }
+                return;
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    if shadow == ShadowMode::Mem && matches!(untaint, Some(UntaintMethod::Ideal)) {
+        // SPT{Ideal,ShadowMem} — fine.
+    }
+    if !enable_spt && untaint.is_some() {
+        eprintln!("--untaint-method requires --enable-spt (as in the artifact)");
+        std::process::exit(2);
+    }
+
+    let config = if stt {
+        Config::stt(threat)
+    } else if enable_spt {
+        let mut c = Config::secure_baseline(threat);
+        c.untaint = untaint.unwrap_or(UntaintMethod::None);
+        c.shadow = shadow;
+        c
+    } else {
+        Config::unsafe_baseline(threat)
+    };
+
+    let name = executable.unwrap_or_else(|| usage());
+    let suite = full_suite(Scale::Bench);
+    let Some(w) = suite.iter().find(|w| w.name == name) else {
+        eprintln!("unknown workload `{name}`; use --list");
+        std::process::exit(2);
+    };
+
+    eprintln!("running {} under {config} ...", w.name);
+    let row = run_workload(w, config, budget);
+
+    // stats.txt-style output (the artifact's "the one of most interest will
+    // be numCycles").
+    println!("numCycles                 {:>14}   # cycles to retire the budget", row.cycles);
+    println!("numRetired                {:>14}   # instructions retired", row.retired);
+    println!("ipc                       {:>14.4}   # retired instructions per cycle", row.stats.ipc());
+    println!("numFetched                {:>14}   # instructions fetched (incl. wrong path)", row.stats.fetched);
+    println!("numSquashes               {:>14}   # pipeline squashes", row.stats.squashes);
+    println!("branchMispredicts         {:>14}   # conditional mispredictions", row.stats.branch_mispredicts);
+    println!("indirectMispredicts       {:>14}   # indirect-target mispredictions", row.stats.indirect_mispredicts);
+    println!("memOrderViolations        {:>14}   # store->load order violations", row.stats.mem_violations);
+    println!("stlForwards               {:>14}   # store-to-load forwards", row.stats.stl_forwards);
+    println!("xmitDelayCycles           {:>14}   # transmitter-slot cycles blocked by taint", row.stats.transmitter_delay_cycles);
+    println!("resolutionDelayCycles     {:>14}   # deferred branch-resolution cycles", row.stats.resolution_delay_cycles);
+    println!("untaintEvents             {:>14}   # registers untainted (all mechanisms)", row.stats.spt.events.total());
+    println!("untaintingCycles          {:>14}   # cycles with >=1 untaint", row.stats.spt.untainting_cycles);
+    println!("untaintDeferred           {:>14}   # broadcasts deferred by the width limit", row.stats.spt.broadcasts_deferred);
+    if track_insts {
+        println!("\n# untaint-event breakdown (--track-insts):");
+        for (kind, count) in row.stats.spt.events.iter() {
+            println!("untaint.{:<16} {:>14}", kind.label(), count);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Prints paper Table 3: the qualitative taxonomy of prior hardware-based
+//! mitigations for speculative execution attacks. This table is static —
+//! it records the literature survey, not a measurement.
+
+fn main() {
+    let rows: [(&str, &str, &str, &str, &str); 17] = [
+        ("InvisiSpec [76]", "Spec/Non-spec accessed data", "Cache-based", "CC, ST", "yes"),
+        ("SafeSpec [39]", "Spec/Non-spec accessed data", "Cache-based", "CC, ST", "yes"),
+        ("DAWG [40]", "Spec/Non-spec accessed data", "Cache-based", "CC, ST", "yes"),
+        ("Delay-on-miss [59]", "Spec/Non-spec accessed data", "Cache-based", "CC, ST", "yes"),
+        ("Cond. Spec. [44]", "Spec/Non-spec accessed data", "Cache-based", "CC, ST", "yes"),
+        ("MuonTrap [7]", "Spec/Non-spec accessed data", "Cache-based", "CC, ST", "yes"),
+        ("CleanupSpec [58]", "Spec/Non-spec accessed data", "Cache-based", "CC, ST", "yes"),
+        ("CSF [69]", "Spec/Non-spec accessed data", "Cache-based", "CC, ST", "no, user annotates secrets"),
+        ("MI6 [18]", "Spec/Non-spec accessed data", "All", "CC, ST", "yes"),
+        ("ConTExT [61]", "Spec/Non-spec accessed data", "All", "CC, ST, SMT", "no, user annotates secrets"),
+        ("OISA [81]", "Spec/Non-spec accessed data", "All", "CC, ST, SMT", "no, user annotates secrets"),
+        ("STT [83]", "Spec accessed data", "All", "CC, ST, SMT", "yes"),
+        ("SDO [82]", "Spec accessed data", "All", "CC, ST, SMT", "yes"),
+        ("SpecShield [11]", "Spec accessed data", "All", "CC, ST, SMT", "yes"),
+        ("NDA [74]", "Spec/Non-spec accessed data", "All", "CC, ST, SMT", "yes"),
+        ("Dolma [46]", "Spec/Non-spec accessed data", "All", "CC, ST", "yes"),
+        ("SPT (this work)", "Non-spec secrets", "All", "CC, ST, SMT", "yes"),
+    ];
+    println!("Table 3 — prior hardware-based mitigations for speculative execution attacks\n");
+    println!(
+        "{:<20} {:<30} {:<13} {:<13} {}",
+        "Scheme", "Data protection scope", "Transmitters", "Receivers", "Transparent?"
+    );
+    println!("{}", "-".repeat(100));
+    for (scheme, scope, tx, rx, transparent) in rows {
+        println!("{scheme:<20} {scope:<30} {tx:<13} {rx:<13} {transparent}");
+    }
+    println!("\nCC = CrossCore, ST = SameThread, SMT = simultaneous-multithreading sibling.");
+}

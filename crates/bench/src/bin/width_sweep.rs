@@ -1,0 +1,64 @@
+//! Ablation for §7.6/§9.4: sweep the untaint broadcast width and measure
+//! execution time of the full SPT design on a representative subset.
+//!
+//! ```text
+//! cargo run -p spt-bench --release --bin width_sweep -- [--budget N]
+//! ```
+
+use spt_bench::runner::{run_workload, DEFAULT_BUDGET};
+use spt_core::{Config, ThreatModel};
+use spt_workloads::{full_suite, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut budget = DEFAULT_BUDGET;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--budget" => {
+                i += 1;
+                budget = args[i].parse().expect("--budget takes a number");
+            }
+            other => {
+                eprintln!("unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let names = ["perlbench", "mcf", "omnetpp", "namd", "povray", "chacha20"];
+    let suite: Vec<_> = full_suite(Scale::Bench)
+        .into_iter()
+        .filter(|w| names.contains(&w.name))
+        .collect();
+    let widths = [1usize, 2, 3, 4, 8, 16];
+
+    println!("Broadcast-width ablation — SPT{{Bwd,ShadowL1}}, Futuristic model");
+    println!("cells: execution time normalized to width=16; budget {budget} retired\n");
+    print!("{:<14}", "benchmark");
+    for w in widths {
+        print!("{:>10}", format!("W={w}"));
+    }
+    println!("{:>12}", "deferred@3");
+    for wl in &suite {
+        let mut cycles = Vec::new();
+        let mut deferred3 = 0;
+        for &w in &widths {
+            let mut cfg = Config::spt_full(ThreatModel::Futuristic);
+            cfg.broadcast_width = w;
+            let row = run_workload(wl, cfg, budget);
+            if w == 3 {
+                deferred3 = row.stats.spt.broadcasts_deferred;
+            }
+            cycles.push(row.cycles as f64);
+        }
+        let base = *cycles.last().expect("non-empty widths");
+        print!("{:<14}", wl.name);
+        for c in &cycles {
+            print!("{:>10.3}", c / base);
+        }
+        println!("{deferred3:>12}");
+    }
+    println!("\n(Expect width 3 to be within noise of unbounded width — paper §9.4.)");
+}

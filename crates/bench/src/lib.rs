@@ -1,0 +1,20 @@
+//! Experiment harness for the SPT reproduction.
+//!
+//! One binary per paper artifact regenerates the corresponding table or
+//! figure (see `DESIGN.md` §5 for the full index):
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `fig7` | Figure 7: normalized execution time, all configs × workloads |
+//! | `fig8` | Figure 8: untaint-event breakdown |
+//! | `fig9` | Figure 9: registers untainted per untainting cycle (CDF) |
+//! | `headline` | §9.2 headline numbers (overheads, ratios, deltas) |
+//! | `width_sweep` | §9.4 broadcast-width ablation |
+//! | `table3` | Table 3: related-work taxonomy (static) |
+//!
+//! The library half holds the shared runner and text/CSV renderers.
+
+pub mod report;
+pub mod runner;
+
+pub use runner::{run_workload, suite_matrix, RunRow, SuiteMatrix, DEFAULT_BUDGET};

@@ -1,0 +1,166 @@
+//! Shared simulation runner for the experiment binaries.
+
+use spt_core::{Config, ThreatModel};
+use spt_mem::MemSystem;
+use spt_ooo::{CoreConfig, Machine, MachineStats, RunLimits};
+use spt_workloads::{Scale, Workload};
+
+/// Default retired-instruction budget per (workload, config) run.
+///
+/// Every configuration retires exactly this many instructions of the same
+/// program, so cycle counts are directly comparable (the gem5 SimPoint
+/// methodology's fixed-work principle).
+pub const DEFAULT_BUDGET: u64 = 30_000;
+
+/// One completed run.
+#[derive(Clone, Debug)]
+pub struct RunRow {
+    /// Workload name.
+    pub workload: String,
+    /// Configuration display name.
+    pub config: String,
+    /// Attack model.
+    pub threat: ThreatModel,
+    /// Cycles taken to retire the budget.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub retired: u64,
+    /// Full machine statistics.
+    pub stats: MachineStats,
+}
+
+/// Runs one workload under one configuration for `budget` retired
+/// instructions and returns the row.
+///
+/// # Panics
+///
+/// Panics if the simulator deadlocks (a bug, not a measurement).
+pub fn run_workload(w: &Workload, cfg: Config, budget: u64) -> RunRow {
+    let mut mem = MemSystem::default();
+    w.apply_memory(mem.store());
+    let mut m = Machine::with_memory(w.program.clone(), CoreConfig::default(), cfg, mem);
+    let out = m
+        .run(RunLimits::retired(budget))
+        .unwrap_or_else(|e| panic!("{} under {cfg}: {e}", w.name));
+    RunRow {
+        workload: w.name.to_string(),
+        config: cfg.name().to_string(),
+        threat: cfg.threat,
+        cycles: out.cycles,
+        retired: out.retired,
+        stats: m.stats(),
+    }
+}
+
+/// Results of a whole suite × configuration sweep for one threat model.
+#[derive(Clone, Debug)]
+pub struct SuiteMatrix {
+    /// Attack model.
+    pub threat: ThreatModel,
+    /// Configuration names in Table-2 order.
+    pub configs: Vec<String>,
+    /// Workload names in Figure-7 order.
+    pub workloads: Vec<String>,
+    /// `rows[w][c]` = run of workload `w` under config `c`.
+    pub rows: Vec<Vec<RunRow>>,
+}
+
+impl SuiteMatrix {
+    /// Cycles normalized to the first (UnsafeBaseline) column.
+    pub fn normalized(&self, w: usize, c: usize) -> f64 {
+        let base = self.rows[w][0].cycles as f64;
+        self.rows[w][c].cycles as f64 / base
+    }
+
+    /// Arithmetic mean of normalized execution time for config `c` over a
+    /// workload-index subset.
+    pub fn mean_over(&self, c: usize, subset: &[usize]) -> f64 {
+        if subset.is_empty() {
+            return f64::NAN;
+        }
+        subset.iter().map(|&w| self.normalized(w, c)).sum::<f64>() / subset.len() as f64
+    }
+
+    /// Geometric mean of normalized execution time for config `c`.
+    pub fn geomean_over(&self, c: usize, subset: &[usize]) -> f64 {
+        if subset.is_empty() {
+            return f64::NAN;
+        }
+        let log_sum: f64 = subset.iter().map(|&w| self.normalized(w, c).ln()).sum();
+        (log_sum / subset.len() as f64).exp()
+    }
+
+    /// Index of a configuration by display name.
+    pub fn config_index(&self, name: &str) -> Option<usize> {
+        self.configs.iter().position(|c| c == name)
+    }
+
+    /// Indices of workloads belonging to the SPEC suites (not constant-time).
+    pub fn spec_indices(&self, workloads: &[Workload]) -> Vec<usize> {
+        (0..self.workloads.len())
+            .filter(|&i| workloads[i].category != spt_workloads::Category::ConstantTime)
+            .collect()
+    }
+
+    /// Indices of constant-time workloads.
+    pub fn ct_indices(&self, workloads: &[Workload]) -> Vec<usize> {
+        (0..self.workloads.len())
+            .filter(|&i| workloads[i].category == spt_workloads::Category::ConstantTime)
+            .collect()
+    }
+}
+
+/// Runs the full Figure-7 sweep: every Table-2 configuration on every
+/// workload of the suite, for one threat model.
+pub fn suite_matrix(
+    threat: ThreatModel,
+    workloads: &[Workload],
+    budget: u64,
+    verbose: bool,
+) -> SuiteMatrix {
+    let configs = Config::table2(threat);
+    let mut rows = Vec::with_capacity(workloads.len());
+    for w in workloads {
+        let mut row = Vec::with_capacity(configs.len());
+        for &cfg in &configs {
+            if verbose {
+                eprintln!("  running {} under {} ...", w.name, cfg);
+            }
+            row.push(run_workload(w, cfg, budget));
+        }
+        rows.push(row);
+    }
+    SuiteMatrix {
+        threat,
+        configs: configs.iter().map(|c| c.name().to_string()).collect(),
+        workloads: workloads.iter().map(|w| w.name.to_string()).collect(),
+        rows,
+    }
+}
+
+/// Builds the standard bench-scale workload suite.
+pub fn bench_suite() -> Vec<Workload> {
+    spt_workloads::full_suite(Scale::Bench)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_one_workload_quickly() {
+        let w = &spt_workloads::ct_suite(Scale::Bench)[1]; // chacha20
+        let row = run_workload(w, Config::unsafe_baseline(ThreatModel::Spectre), 2_000);
+        assert!(row.retired >= 2_000);
+        assert!(row.cycles > 0);
+        assert!(row.stats.ipc() > 0.1, "chacha20 should have reasonable IPC");
+    }
+
+    #[test]
+    fn matrix_normalization_is_one_for_baseline() {
+        let suite = spt_workloads::ct_suite(Scale::Bench);
+        let m = suite_matrix(ThreatModel::Spectre, &suite[..1], 1_000, false);
+        assert!((m.normalized(0, 0) - 1.0).abs() < 1e-12);
+        assert_eq!(m.configs.len(), 8);
+    }
+}

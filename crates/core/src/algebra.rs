@@ -1,0 +1,179 @@
+//! The declassification/untaint algebra (paper §5, §6.6), as pure functions.
+//!
+//! Each rule is a function of the instruction *class* and the taint of its
+//! registers only — never of register values — so a hardware implementation
+//! can evaluate every reservation-station slot in parallel in one cycle
+//! (§6.6: "To allow a single-cycle implementation, each rule is a function
+//! of the instruction's type and the taint of its registers").
+//!
+//! The rules are deliberately conservative, exactly as in the paper: they
+//! do not exploit GLIFT-style value-dependent refinements (e.g. `AND` with
+//! a public 0 input).
+
+use spt_isa::InstClass;
+
+/// Forward (output) untaint rule (§6.6).
+///
+/// For instructions whose output is a pure function of their register
+/// operands, the output may be untainted once every operand is untainted.
+/// Loads are excluded: their output depends on memory, and untaints only
+/// through the shadow-L1/store-forwarding rules (§6.7–6.8). `Const`
+/// instructions are handled at rename (§6.5) and never need this rule.
+///
+/// Returns `true` if the destination should become untainted.
+///
+/// # Example
+///
+/// ```
+/// use spt_core::algebra::forward_untaints;
+/// use spt_isa::InstClass;
+///
+/// assert!(forward_untaints(InstClass::Lossy, &[false, false]));
+/// assert!(!forward_untaints(InstClass::Lossy, &[false, true]));
+/// assert!(!forward_untaints(InstClass::Load, &[false]));
+/// ```
+pub fn forward_untaints(class: InstClass, src_tainted: &[bool]) -> bool {
+    match class {
+        InstClass::Copy
+        | InstClass::Invertible2
+        | InstClass::InvertibleImm
+        | InstClass::Lossy => src_tainted.iter().all(|&t| !t),
+        // Loads: output is a function of memory, not only of operands.
+        // Stores/branches have no register output. Const is untainted at
+        // rename already.
+        InstClass::Load
+        | InstClass::Store
+        | InstClass::ControlFlow
+        | InstClass::Const
+        | InstClass::Other => false,
+    }
+}
+
+/// Backward (input) untaint rule (§6.6).
+///
+/// Given the destination's and each source's taint, returns per-source
+/// flags saying which sources may now be untainted:
+///
+/// * rule ① — register copies: if the output is untainted, the operand is
+///   inferable (it equals the output);
+/// * rule ② — invertible arithmetic (`Add`/`Sub`/`Xor`): if the output and
+///   all but one input are untainted, the remaining input is inferable
+///   (e.g. `r1 = r0 - r2`).
+///
+/// An op with a public immediate (`InvertibleImm`) is the one-source case
+/// of rule ②: the immediate is program text, hence known to the attacker.
+///
+/// # Example
+///
+/// ```
+/// use spt_core::algebra::backward_untaints;
+/// use spt_isa::InstClass;
+///
+/// // r0 = r1 + r2 with r0, r2 public: r1 becomes inferable.
+/// assert_eq!(backward_untaints(InstClass::Invertible2, &[true, false], false), [true, false]);
+/// // Both inputs tainted: nothing can be inferred.
+/// assert_eq!(backward_untaints(InstClass::Invertible2, &[true, true], false), [false, false]);
+/// ```
+pub fn backward_untaints(
+    class: InstClass,
+    src_tainted: &[bool],
+    dest_tainted: bool,
+) -> [bool; 2] {
+    let mut out = [false; 2];
+    if dest_tainted {
+        return out;
+    }
+    match class {
+        InstClass::Copy | InstClass::InvertibleImm => {
+            if src_tainted.first().copied().unwrap_or(false) {
+                out[0] = true;
+            }
+        }
+        InstClass::Invertible2 => {
+            let tainted_count = src_tainted.iter().filter(|&&t| t).count();
+            if tainted_count == 1 {
+                for (i, &t) in src_tainted.iter().enumerate().take(2) {
+                    if t {
+                        out[i] = true;
+                    }
+                }
+            }
+        }
+        // Lossy ops destroy information; loads/stores/control flow have no
+        // register-to-register inverse; Const has no register sources.
+        InstClass::Lossy
+        | InstClass::Load
+        | InstClass::Store
+        | InstClass::ControlFlow
+        | InstClass::Const
+        | InstClass::Other => {}
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_requires_all_sources_public() {
+        for class in [InstClass::Copy, InstClass::Invertible2, InstClass::Lossy] {
+            assert!(forward_untaints(class, &[false]));
+            assert!(forward_untaints(class, &[false, false]));
+            assert!(!forward_untaints(class, &[true, false]));
+            assert!(!forward_untaints(class, &[false, true]));
+            assert!(!forward_untaints(class, &[true, true]));
+        }
+    }
+
+    #[test]
+    fn forward_never_applies_to_loads_or_stores() {
+        assert!(!forward_untaints(InstClass::Load, &[false]));
+        assert!(!forward_untaints(InstClass::Store, &[false, false]));
+        assert!(!forward_untaints(InstClass::ControlFlow, &[false, false]));
+    }
+
+    #[test]
+    fn backward_copy_rule() {
+        // Tainted source, public dest: infer.
+        assert_eq!(backward_untaints(InstClass::Copy, &[true], false), [true, false]);
+        // Public source: nothing to do.
+        assert_eq!(backward_untaints(InstClass::Copy, &[false], false), [false, false]);
+        // Tainted dest: cannot use its value.
+        assert_eq!(backward_untaints(InstClass::Copy, &[true], true), [false, false]);
+    }
+
+    #[test]
+    fn backward_invertible_two_source() {
+        // Exactly one tainted source is recoverable.
+        assert_eq!(
+            backward_untaints(InstClass::Invertible2, &[false, true], false),
+            [false, true]
+        );
+        assert_eq!(
+            backward_untaints(InstClass::Invertible2, &[true, false], false),
+            [true, false]
+        );
+        // Zero or two tainted: no inference.
+        assert_eq!(
+            backward_untaints(InstClass::Invertible2, &[false, false], false),
+            [false, false]
+        );
+        assert_eq!(
+            backward_untaints(InstClass::Invertible2, &[true, true], false),
+            [false, false]
+        );
+    }
+
+    #[test]
+    fn backward_never_applies_to_lossy() {
+        assert_eq!(backward_untaints(InstClass::Lossy, &[true, false], false), [false, false]);
+        assert_eq!(backward_untaints(InstClass::Load, &[true], false), [false, false]);
+    }
+
+    #[test]
+    fn backward_immediate_rule() {
+        assert_eq!(backward_untaints(InstClass::InvertibleImm, &[true], false), [true, false]);
+        assert_eq!(backward_untaints(InstClass::InvertibleImm, &[true], true), [false, false]);
+    }
+}

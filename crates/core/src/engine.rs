@@ -1,0 +1,971 @@
+//! The SPT taint engine: rename-time tainting, per-cycle two-phase untaint
+//! propagation with bounded broadcast width, and declassification at the
+//! visibility point (paper §6.3–6.6, §7.3).
+//!
+//! The engine mirrors the paper's hardware organisation:
+//!
+//! * **Global register taint** (the RAT/PRF taint bits): one [`TaintMask`]
+//!   per physical register, consulted at rename and updated only by
+//!   broadcasts.
+//! * **Slots** (the RS-slot taint replicas): one per in-flight (ROB
+//!   resident) instruction, holding *local* copies of its operand and
+//!   destination taint plus per-register *untaint broadcast flags*.
+//!
+//! Each cycle, [`TaintEngine::step`] runs the paper's two phases:
+//! phase 1 applies the forward/backward rules of [`crate::algebra`]
+//! locally to every slot; phase 2 broadcasts at most `broadcast_width`
+//! newly-untainted physical registers (destinations before sources, older
+//! slots before younger ones), which updates the global taint and every
+//! replica. Under [`crate::UntaintMethod::Ideal`] the two phases iterate to a
+//! fixpoint with unbounded width within the single call.
+
+use crate::algebra::{backward_untaints, forward_untaints};
+use crate::config::Config;
+use crate::stats::{SptStats, UntaintKind};
+use crate::taint::TaintMask;
+use spt_isa::{InstClass, OperandRole};
+use std::collections::BTreeMap;
+
+/// Physical register identifier.
+pub type PhysReg = u32;
+
+/// Global instruction sequence number (monotonic, never reused).
+pub type Seq = u64;
+
+/// Information the pipeline supplies when an instruction is renamed.
+#[derive(Clone, Copy, Debug)]
+pub struct RenameInfo {
+    /// The instruction's sequence number.
+    pub seq: Seq,
+    /// Untaint-algebra class.
+    pub class: InstClass,
+    /// Source operands: physical register and role (up to 3: indexed
+    /// stores read base, index and data).
+    pub srcs: [Option<(PhysReg, OperandRole)>; 3],
+    /// Destination physical register, if any.
+    pub dest: Option<PhysReg>,
+    /// For loads: access width in bytes (bounds the rename-time taint of
+    /// the zero-extended destination).
+    pub load_bytes: Option<u64>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct SlotReg {
+    phys: PhysReg,
+    taint: TaintMask,
+    pending: Option<UntaintKind>,
+}
+
+impl SlotReg {
+    fn new(phys: PhysReg, taint: TaintMask) -> SlotReg {
+        SlotReg { phys, taint, pending: None }
+    }
+
+    /// Locally untaints this register and flags it for broadcast.
+    /// Returns whether anything changed.
+    fn untaint(&mut self, kind: UntaintKind) -> bool {
+        if self.taint.any() {
+            self.taint = TaintMask::NONE;
+            if self.pending.is_none() {
+                self.pending = Some(kind);
+            }
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Slot {
+    class: InstClass,
+    srcs: [Option<(SlotReg, OperandRole)>; 3],
+    dest: Option<SlotReg>,
+}
+
+/// The registers untainted (broadcast) during one [`TaintEngine::step`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StepResult {
+    /// Broadcast register IDs with the mechanism that untainted each.
+    pub broadcasts: Vec<(PhysReg, UntaintKind)>,
+}
+
+/// The SPT taint-tracking engine (see module docs).
+#[derive(Clone, Debug)]
+pub struct TaintEngine {
+    cfg: Config,
+    reg_taint: Vec<TaintMask>,
+    slots: BTreeMap<Seq, Slot>,
+    /// Pending broadcasts whose slot retired before the width-limited bus
+    /// got to them; they keep highest priority (they are the oldest).
+    orphans: Vec<(PhysReg, UntaintKind)>,
+    /// Whether taint state changed since the last quiescent step.
+    dirty: bool,
+    /// Retired instructions whose slots stay visible to the rules for a few
+    /// more cycles (commit latency: the paper backward-untaints "to the
+    /// head of the ROB", and real commit takes several stages; the instant
+    /// retirement of this simulator would otherwise remove producers in the
+    /// same cycle their consumers' declassification broadcasts).
+    retired_grace: Vec<(Seq, u8)>,
+    stats: SptStats,
+}
+
+impl TaintEngine {
+    /// Creates an engine for `num_phys` physical registers, all initially
+    /// tainted (paper §6.3: "all program data starts off as tainted").
+    pub fn new(cfg: Config, num_phys: usize) -> TaintEngine {
+        TaintEngine {
+            cfg,
+            reg_taint: vec![TaintMask::ALL; num_phys],
+            slots: BTreeMap::new(),
+            orphans: Vec::new(),
+            dirty: false,
+            retired_grace: Vec::new(),
+            stats: SptStats::new(),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &SptStats {
+        &self.stats
+    }
+
+    /// Global (broadcast-visible) taint of a physical register.
+    pub fn reg_taint(&self, phys: PhysReg) -> TaintMask {
+        self.reg_taint[phys as usize]
+    }
+
+    /// Number of live slots (in-flight instructions being tracked).
+    pub fn live_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Registers an instruction at rename and returns the taint assigned to
+    /// its destination (paper §7.3 "Tainting"):
+    ///
+    /// * loads are conservatively tainted in their loaded byte range;
+    /// * `Const` outputs are public (§6.5) — counted as a `LoadImm` event;
+    /// * otherwise the destination is tainted iff any operand is.
+    pub fn rename(&mut self, info: RenameInfo) -> TaintMask {
+        let mut srcs: [Option<(SlotReg, OperandRole)>; 3] = [None, None, None];
+        let mut any_src_tainted = false;
+        for (i, src) in info.srcs.iter().enumerate() {
+            if let Some((phys, role)) = *src {
+                let t = self.reg_taint[phys as usize];
+                any_src_tainted |= t.any();
+                srcs[i] = Some((SlotReg::new(phys, t), role));
+            }
+        }
+
+        let dest_taint = match info.class {
+            InstClass::Load => TaintMask::for_bytes(0..info.load_bytes.unwrap_or(8)),
+            InstClass::Const => {
+                if self.cfg.untaint.forward() {
+                    self.stats.events[UntaintKind::LoadImm] += 1;
+                    TaintMask::NONE
+                } else {
+                    // SecureBaseline tracks nothing: stay tainted.
+                    TaintMask::ALL
+                }
+            }
+            _ => {
+                if any_src_tainted {
+                    TaintMask::ALL
+                } else {
+                    TaintMask::NONE
+                }
+            }
+        };
+
+        let dest = info.dest.map(|phys| {
+            // The physical register is being recycled: any queued untaint
+            // information about its *previous* value must not leak onto the
+            // new value.
+            self.purge_recycled_phys(phys);
+            self.reg_taint[phys as usize] = dest_taint;
+            SlotReg::new(phys, dest_taint)
+        });
+
+        self.slots.insert(info.seq, Slot { class: info.class, srcs, dest });
+        dest_taint
+    }
+
+    /// Drops stale state referring to a recycled physical register: orphan
+    /// broadcasts for it, and any grace-period retired slot that references
+    /// it (the slot's other pendings are preserved).
+    fn purge_recycled_phys(&mut self, phys: PhysReg) {
+        self.orphans.retain(|(p, _)| *p != phys);
+        let mut stale: Vec<Seq> = Vec::new();
+        for &(seq, _) in &self.retired_grace {
+            if let Some(slot) = self.slots.get(&seq) {
+                let refs = slot.dest.as_ref().is_some_and(|d| d.phys == phys)
+                    || slot.srcs.iter().flatten().any(|(r, _)| r.phys == phys);
+                if refs {
+                    stale.push(seq);
+                }
+            }
+        }
+        for seq in stale {
+            self.finalize_retire(seq, Some(phys));
+            self.retired_grace.retain(|(s, _)| *s != seq);
+        }
+    }
+
+    /// Whether source operand `idx` of slot `seq` is tainted in the slot's
+    /// local view (the gating condition for transmitters). Unknown slots
+    /// and absent operands read as public.
+    pub fn operand_tainted(&self, seq: Seq, idx: usize) -> bool {
+        self.slots
+            .get(&seq)
+            .and_then(|s| s.srcs.get(idx).and_then(|o| o.as_ref()))
+            .is_some_and(|(r, _)| r.taint.any())
+    }
+
+    /// Whether every operand of `seq` that leaks at the VP (addresses,
+    /// predicates, jump targets) is locally public.
+    pub fn leak_operands_clear(&self, seq: Seq) -> bool {
+        let Some(slot) = self.slots.get(&seq) else { return true };
+        slot.srcs
+            .iter()
+            .flatten()
+            .all(|(r, role)| !role.leaks_at_vp() || r.taint.is_clear())
+    }
+
+    /// The slot-local taint mask of source operand `idx`, if present.
+    pub fn operand_mask(&self, seq: Seq, idx: usize) -> Option<TaintMask> {
+        self.slots
+            .get(&seq)?
+            .srcs
+            .get(idx)?
+            .as_ref()
+            .map(|(r, _)| r.taint)
+    }
+
+    /// The slot-local taint mask of the destination, if present.
+    pub fn dest_mask(&self, seq: Seq) -> Option<TaintMask> {
+        self.slots.get(&seq)?.dest.as_ref().map(|r| r.taint)
+    }
+
+    /// Declassifies the leak-role operands of `seq` — called when a
+    /// transmitter or control-flow instruction reaches the visibility point
+    /// (§6.6). Branch operands are only declassified when the configuration
+    /// enables it.
+    pub fn declassify_vp(&mut self, seq: Seq) {
+        let branches = self.cfg.branches_declassify;
+        // SecureBaseline performs no untaint propagation whatsoever; the
+        // transmitter itself executes because it reached the VP.
+        if !self.cfg.untaint.forward() {
+            return;
+        }
+        let Some(slot) = self.slots.get_mut(&seq) else { return };
+        let is_cf = slot.class == InstClass::ControlFlow;
+        if is_cf && !branches {
+            return;
+        }
+        let kind = if is_cf {
+            UntaintKind::DeclassifyBranch
+        } else {
+            UntaintKind::DeclassifyTransmit
+        };
+        let mut changed = false;
+        for src in slot.srcs.iter_mut().flatten() {
+            if src.1.leaks_at_vp() {
+                changed |= src.0.untaint(kind);
+            }
+        }
+        self.dirty |= changed;
+    }
+
+    /// Sets the slot-local taint of a load's output to `mask` (intersected
+    /// with the current taint), attributing a full clear to `kind`. Used on
+    /// load completion with shadow-L1/shadow-memory byte taint (§6.8) or
+    /// store-to-load forwarding under `STLPublic` (§6.7).
+    pub fn set_load_output(&mut self, seq: Seq, mask: TaintMask, kind: UntaintKind) {
+        let Some(slot) = self.slots.get_mut(&seq) else { return };
+        let Some(dest) = slot.dest.as_mut() else { return };
+        let new = dest.taint.intersect(mask);
+        if new.is_clear() && dest.taint.any() {
+            dest.untaint(kind);
+            self.dirty = true;
+        } else {
+            if new != dest.taint {
+                self.dirty = true;
+            }
+            dest.taint = new;
+        }
+    }
+
+    /// Explicitly untaints source operand `idx` of `seq` (store-to-load
+    /// backward untaint, §6.7 rule ②).
+    pub fn untaint_operand(&mut self, seq: Seq, idx: usize, kind: UntaintKind) {
+        if let Some(slot) = self.slots.get_mut(&seq) {
+            if let Some(Some((reg, _))) = slot.srcs.get_mut(idx) {
+                if reg.untaint(kind) {
+                    self.dirty = true;
+                }
+            }
+        }
+    }
+
+    /// Number of engine steps a retired slot stays visible to the rules.
+    const RETIRE_GRACE: u8 = 4;
+
+    /// Marks an instruction retired. Its slot stays visible to the untaint
+    /// rules for `RETIRE_GRACE` steps (commit latency), then is
+    /// removed with un-broadcast untaint flags preserved as orphans.
+    pub fn retire(&mut self, seq: Seq) {
+        if self.slots.contains_key(&seq) {
+            self.retired_grace.push((seq, Self::RETIRE_GRACE));
+        }
+    }
+
+    /// Finally removes a retired slot, preserving pending broadcasts except
+    /// for `skip_phys` (a recycled register whose old value is dead).
+    fn finalize_retire(&mut self, seq: Seq, skip_phys: Option<PhysReg>) {
+        if let Some(slot) = self.slots.remove(&seq) {
+            let mut keep = |r: &SlotReg| {
+                if let Some(kind) = r.pending {
+                    if skip_phys != Some(r.phys) {
+                        self.orphans.push((r.phys, kind));
+                    }
+                }
+            };
+            if let Some(d) = &slot.dest {
+                keep(d);
+            }
+            for (r, _) in slot.srcs.iter().flatten() {
+                keep(r);
+            }
+        }
+    }
+
+    /// Ages the retired-slot grace periods (called once per step).
+    fn age_retired(&mut self) {
+        let mut expired: Vec<Seq> = Vec::new();
+        self.retired_grace.retain_mut(|(seq, ttl)| {
+            if *ttl == 0 {
+                expired.push(*seq);
+                false
+            } else {
+                *ttl -= 1;
+                true
+            }
+        });
+        for seq in expired {
+            self.finalize_retire(seq, None);
+        }
+    }
+
+    /// Removes all slots with `seq >= from` (squash recovery). Their
+    /// pending untaints are dropped: a squashed instruction's inference
+    /// never happened architecturally.
+    pub fn squash_from(&mut self, from: Seq) {
+        self.slots.split_off(&from);
+    }
+
+    /// Phase 1: applies the §6.6 rules locally to every slot.
+    fn apply_rules_locally(&mut self) {
+        let fwd = self.cfg.untaint.forward();
+        let bwd = self.cfg.untaint.backward();
+        if !fwd {
+            return;
+        }
+        for slot in self.slots.values_mut() {
+            let mut src_tainted = [false; 3];
+            let mut n_srcs = 0;
+            for (r, _) in slot.srcs.iter().flatten() {
+                src_tainted[n_srcs] = r.taint.any();
+                n_srcs += 1;
+            }
+            if let Some(dest) = slot.dest.as_mut() {
+                if dest.taint.any() && forward_untaints(slot.class, &src_tainted[..n_srcs]) {
+                    dest.untaint(UntaintKind::Forward);
+                }
+            }
+            if bwd {
+                let dest_tainted = slot.dest.as_ref().map_or(true, |d| d.taint.any());
+                // Backward rules need a register destination whose value the
+                // attacker can read; instructions without one don't apply.
+                if slot.dest.is_some() && !dest_tainted {
+                    let back = backward_untaints(slot.class, &src_tainted[..n_srcs], dest_tainted);
+                    for (i, src) in slot.srcs.iter_mut().flatten().enumerate() {
+                        if back.get(i).copied().unwrap_or(false) {
+                            src.0.untaint(UntaintKind::Backward);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Phase 2: selects at most `width` pending untaints (orphans first,
+    /// then destinations before sources within each slot, older slots
+    /// first), clears them globally and in every replica. Returns the
+    /// chosen broadcasts and whether any pending flags remain.
+    fn broadcast(&mut self, width: usize) -> (Vec<(PhysReg, UntaintKind)>, bool) {
+        let mut chosen: Vec<(PhysReg, UntaintKind)> = Vec::new();
+        let mut deferred = 0u64;
+
+        let consider = |phys: PhysReg, kind: UntaintKind,
+                            chosen: &mut Vec<(PhysReg, UntaintKind)>,
+                            reg_taint: &[TaintMask],
+                            deferred: &mut u64| {
+            if reg_taint[phys as usize].is_clear() {
+                return; // already public globally; nothing to broadcast
+            }
+            if chosen.iter().any(|(p, _)| *p == phys) {
+                return; // same register already selected this cycle
+            }
+            if chosen.len() < width {
+                chosen.push((phys, kind));
+            } else {
+                *deferred += 1;
+            }
+        };
+
+        for &(phys, kind) in &self.orphans {
+            consider(phys, kind, &mut chosen, &self.reg_taint, &mut deferred);
+        }
+        for slot in self.slots.values() {
+            if let Some(d) = &slot.dest {
+                if let Some(kind) = d.pending {
+                    consider(d.phys, kind, &mut chosen, &self.reg_taint, &mut deferred);
+                }
+            }
+            for (r, _) in slot.srcs.iter().flatten() {
+                if let Some(kind) = r.pending {
+                    consider(r.phys, kind, &mut chosen, &self.reg_taint, &mut deferred);
+                }
+            }
+        }
+
+        // Apply the selected broadcasts: global taint, every replica, and
+        // pending-flag resets. Pending flags whose register is already
+        // globally public carry no information and are dropped.
+        for &(phys, kind) in &chosen {
+            self.reg_taint[phys as usize] = TaintMask::NONE;
+            self.stats.events[kind] += 1;
+        }
+        let is_chosen = |phys: PhysReg| chosen.iter().any(|(p, _)| *p == phys);
+        let mut remaining = false;
+        for slot in self.slots.values_mut() {
+            if let Some(d) = slot.dest.as_mut() {
+                if is_chosen(d.phys) || self.reg_taint[d.phys as usize].is_clear() {
+                    if d.pending.is_some() || is_chosen(d.phys) {
+                        d.taint = TaintMask::NONE;
+                        d.pending = None;
+                    }
+                } else if d.pending.is_some() {
+                    remaining = true;
+                }
+            }
+            for (r, _) in slot.srcs.iter_mut().flatten() {
+                if is_chosen(r.phys) || self.reg_taint[r.phys as usize].is_clear() {
+                    if r.pending.is_some() || is_chosen(r.phys) {
+                        r.taint = TaintMask::NONE;
+                        r.pending = None;
+                    }
+                } else if r.pending.is_some() {
+                    remaining = true;
+                }
+            }
+        }
+        self.orphans.retain(|(p, _)| {
+            // Drop chosen and already-public orphans.
+            !is_chosen(*p) && self.reg_taint[*p as usize].any()
+        });
+        remaining |= !self.orphans.is_empty();
+
+        self.stats.broadcasts_deferred += deferred;
+        (chosen, remaining)
+    }
+
+    /// Runs one cycle of untaint propagation and returns the registers
+    /// broadcast as untainted. Under [`crate::UntaintMethod::Ideal`], iterates to
+    /// a fixpoint with unbounded width.
+    pub fn step(&mut self) -> StepResult {
+        if !self.cfg.untaint.forward() {
+            return StepResult::default();
+        }
+        self.age_retired();
+        // Quiescence: rules can only fire after some taint state changed
+        // (declassification, broadcast, load completion, STL untaint).
+        if !self.dirty && self.orphans.is_empty() {
+            return StepResult::default();
+        }
+        let mut broadcasts = Vec::new();
+        let mut remaining;
+        if self.cfg.untaint.ideal() {
+            loop {
+                self.apply_rules_locally();
+                let (batch, rem) = self.broadcast(usize::MAX);
+                remaining = rem;
+                if batch.is_empty() {
+                    break;
+                }
+                broadcasts.extend(batch);
+            }
+        } else {
+            self.apply_rules_locally();
+            let (batch, rem) = self.broadcast(self.cfg.broadcast_width);
+            remaining = rem;
+            broadcasts = batch;
+        }
+        // Stay dirty while broadcasts happened this cycle (replica updates
+        // can enable new rule firings) or pending flags remain queued.
+        self.dirty = !broadcasts.is_empty() || remaining;
+        self.stats.record_untaint_cycle(broadcasts.len());
+        StepResult { broadcasts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ThreatModel;
+    use spt_isa::OperandRole::*;
+
+    const P: usize = 64;
+
+    fn engine(cfg: Config) -> TaintEngine {
+        TaintEngine::new(cfg, P)
+    }
+
+    fn full() -> TaintEngine {
+        engine(Config::spt_full(ThreatModel::Futuristic))
+    }
+
+    fn ri(seq: Seq, class: InstClass, srcs: &[(PhysReg, spt_isa::OperandRole)], dest: Option<PhysReg>) -> RenameInfo {
+        let mut s: [Option<(PhysReg, spt_isa::OperandRole)>; 3] = [None, None, None];
+        for (i, &x) in srcs.iter().enumerate() {
+            s[i] = Some(x);
+        }
+        RenameInfo { seq, class, srcs: s, dest, load_bytes: None }
+    }
+
+    #[test]
+    fn rename_const_is_public_and_counted() {
+        let mut e = full();
+        let t = e.rename(ri(1, InstClass::Const, &[], Some(5)));
+        assert!(t.is_clear());
+        assert!(e.reg_taint(5).is_clear());
+        assert_eq!(e.stats().events[UntaintKind::LoadImm], 1);
+    }
+
+    #[test]
+    fn rename_const_stays_tainted_under_secure_baseline() {
+        let mut e = engine(Config::secure_baseline(ThreatModel::Futuristic));
+        let t = e.rename(ri(1, InstClass::Const, &[], Some(5)));
+        assert!(t.any());
+    }
+
+    #[test]
+    fn rename_propagates_source_taint() {
+        let mut e = full();
+        e.rename(ri(1, InstClass::Const, &[], Some(1))); // r1 public
+        // r2 = r1 + r3 where r3 (phys 3) is still tainted.
+        let t = e.rename(ri(2, InstClass::Invertible2, &[(1, Data), (3, Data)], Some(2)));
+        assert!(t.any());
+        // r4 = r1 + r1: all public.
+        let t = e.rename(ri(3, InstClass::Invertible2, &[(1, Data), (1, Data)], Some(4)));
+        assert!(t.is_clear());
+    }
+
+    #[test]
+    fn load_rename_taints_loaded_bytes_only() {
+        let mut e = full();
+        let t = e.rename(RenameInfo {
+            seq: 1,
+            class: InstClass::Load,
+            srcs: [Some((2, Address)), None, None],
+            dest: Some(7),
+            load_bytes: Some(1),
+        });
+        assert_eq!(t, TaintMask::for_bytes(0..1));
+        assert!(t.any());
+        assert!(!t.field(3), "upper bytes of a byte load are public zeros");
+    }
+
+    #[test]
+    fn vp_declassify_then_broadcast_forward_chain() {
+        let mut e = full();
+        // I1: load r10 <- (r2): r2 tainted address.
+        e.rename(RenameInfo {
+            seq: 1,
+            class: InstClass::Load,
+            srcs: [Some((2, Address)), None, None],
+            dest: Some(10),
+            load_bytes: Some(8),
+        });
+        // I2: r11 = r2 + r12 (r12 public via const).
+        e.rename(ri(2, InstClass::Const, &[], Some(12)));
+        e.rename(ri(3, InstClass::Invertible2, &[(2, Data), (12, Data)], Some(11)));
+        assert!(e.reg_taint(11).any());
+
+        // I1 reaches VP: r2 declassified.
+        e.declassify_vp(1);
+        assert!(!e.operand_tainted(1, 0), "slot-local view updates immediately");
+        assert!(e.reg_taint(2).any(), "global view waits for broadcast");
+
+        // Cycle 1: broadcast of r2.
+        let r = e.step();
+        assert_eq!(r.broadcasts, vec![(2, UntaintKind::DeclassifyTransmit)]);
+        assert!(e.reg_taint(2).is_clear());
+
+        // Cycle 2: forward rule fires in I3's slot, broadcasting r11.
+        let r = e.step();
+        assert_eq!(r.broadcasts, vec![(11, UntaintKind::Forward)]);
+        assert!(e.reg_taint(11).is_clear());
+        assert_eq!(e.stats().events[UntaintKind::Forward], 1);
+    }
+
+    #[test]
+    fn backward_untaint_through_invertible_add() {
+        // Paper Figure 4: I1: r0 = r1 + r2; I2: load <- (r0); I3: r4 = r0 + r2.
+        let mut e = full();
+        e.rename(ri(1, InstClass::Invertible2, &[(1, Data), (2, Data)], Some(0)));
+        e.rename(RenameInfo {
+            seq: 2,
+            class: InstClass::Load,
+            srcs: [Some((0, Address)), None, None],
+            dest: Some(3),
+            load_bytes: Some(8),
+        });
+        e.rename(ri(3, InstClass::Invertible2, &[(0, Data), (2, Data)], Some(4)));
+
+        // The load reaches the VP: r0 declassified. Also declassify r2 via
+        // another transmitter to enable the backward inference of r1.
+        e.declassify_vp(2);
+        e.rename(RenameInfo {
+            seq: 4,
+            class: InstClass::Load,
+            srcs: [Some((2, Address)), None, None],
+            dest: Some(5),
+            load_bytes: Some(8),
+        });
+        e.declassify_vp(4);
+
+        // Broadcast r0 and r2 (width 3 allows both in one cycle).
+        let r = e.step();
+        let regs: Vec<PhysReg> = r.broadcasts.iter().map(|b| b.0).collect();
+        assert_eq!(regs, vec![0, 2]);
+
+        // Next cycle: backward rule in I1 infers r1 (r0 = r1 + r2, r0 and r2
+        // public); forward rule in I3 clears r4.
+        let r = e.step();
+        let mut regs: Vec<PhysReg> = r.broadcasts.iter().map(|b| b.0).collect();
+        regs.sort_unstable();
+        assert_eq!(regs, vec![1, 4]);
+        assert_eq!(e.stats().events[UntaintKind::Backward], 1);
+        assert_eq!(e.stats().events[UntaintKind::Forward], 1);
+    }
+
+    #[test]
+    fn backward_requires_bwd_config() {
+        let mut e = engine(Config::spt_fwd(ThreatModel::Futuristic));
+        e.rename(ri(1, InstClass::Copy, &[(1, Data)], Some(0)));
+        e.rename(RenameInfo {
+            seq: 2,
+            class: InstClass::Load,
+            srcs: [Some((0, Address)), None, None],
+            dest: Some(3),
+            load_bytes: Some(8),
+        });
+        e.declassify_vp(2);
+        e.step(); // broadcast r0
+        let r = e.step();
+        assert!(r.broadcasts.is_empty(), "Fwd config must not run backward rules");
+        assert!(e.reg_taint(1).any());
+    }
+
+    #[test]
+    fn broadcast_width_limits_and_defers() {
+        let mut cfg = Config::spt_fwd(ThreatModel::Futuristic);
+        cfg.broadcast_width = 1;
+        let mut e = engine(cfg);
+        // Two loads declassify two different address registers at once.
+        for (seq, addr_reg, dest) in [(1u64, 2u32, 10u32), (2, 3, 11)] {
+            e.rename(RenameInfo {
+                seq,
+                class: InstClass::Load,
+                srcs: [Some((addr_reg, Address)), None, None],
+                dest: Some(dest),
+                load_bytes: Some(8),
+            });
+            e.declassify_vp(seq);
+        }
+        let r = e.step();
+        assert_eq!(r.broadcasts.len(), 1);
+        assert_eq!(r.broadcasts[0].0, 2, "older slot has priority");
+        assert!(e.stats().broadcasts_deferred > 0);
+        let r = e.step();
+        assert_eq!(r.broadcasts.len(), 1);
+        assert_eq!(r.broadcasts[0].0, 3);
+    }
+
+    #[test]
+    fn ideal_mode_converges_in_one_step() {
+        let mut e = engine(Config::spt_ideal(ThreatModel::Futuristic));
+        // Chain: r0 -> r1 -> r2 -> r3 via copies; declassify r0.
+        e.rename(ri(1, InstClass::Copy, &[(0, Data)], Some(1)));
+        e.rename(ri(2, InstClass::Copy, &[(1, Data)], Some(2)));
+        e.rename(ri(3, InstClass::Copy, &[(2, Data)], Some(3)));
+        e.rename(RenameInfo {
+            seq: 4,
+            class: InstClass::Load,
+            srcs: [Some((0, Address)), None, None],
+            dest: Some(9),
+            load_bytes: Some(8),
+        });
+        e.declassify_vp(4);
+        let r = e.step();
+        let mut regs: Vec<PhysReg> = r.broadcasts.iter().map(|b| b.0).collect();
+        regs.sort_unstable();
+        assert_eq!(regs, vec![0, 1, 2, 3], "ideal propagation reaches the whole chain");
+        // The census recorded one cycle with 4 untaints.
+        assert_eq!(e.stats().untaint_cycle_hist[3], 1);
+    }
+
+    #[test]
+    fn monotonicity_taint_never_returns() {
+        // Once broadcast-untainted, stepping more never re-taints.
+        let mut e = full();
+        e.rename(RenameInfo {
+            seq: 1,
+            class: InstClass::Load,
+            srcs: [Some((2, Address)), None, None],
+            dest: Some(10),
+            load_bytes: Some(8),
+        });
+        e.declassify_vp(1);
+        e.step();
+        assert!(e.reg_taint(2).is_clear());
+        for _ in 0..5 {
+            e.step();
+            assert!(e.reg_taint(2).is_clear());
+        }
+    }
+
+    #[test]
+    fn retire_preserves_pending_broadcasts() {
+        let mut cfg = Config::spt_fwd(ThreatModel::Futuristic);
+        cfg.broadcast_width = 1;
+        let mut e = engine(cfg);
+        e.rename(RenameInfo {
+            seq: 1,
+            class: InstClass::Load,
+            srcs: [Some((2, Address)), None, None],
+            dest: Some(10),
+            load_bytes: Some(8),
+        });
+        e.declassify_vp(1);
+        // Retire before any broadcast happened: the slot survives for the
+        // commit-latency grace window, then its pendings become orphans.
+        e.retire(1);
+        let r = e.step();
+        assert_eq!(r.broadcasts, vec![(2, UntaintKind::DeclassifyTransmit)]);
+        assert!(e.reg_taint(2).is_clear());
+        // After the grace period the slot is gone.
+        for _ in 0..=TaintEngine::RETIRE_GRACE {
+            e.step();
+        }
+        assert_eq!(e.live_slots(), 0);
+    }
+
+    #[test]
+    fn recycled_phys_drops_stale_pendings() {
+        let mut e = full();
+        e.rename(RenameInfo {
+            seq: 1,
+            class: InstClass::Load,
+            srcs: [Some((2, Address)), None, None],
+            dest: Some(10),
+            load_bytes: Some(8),
+        });
+        e.declassify_vp(1);
+        e.retire(1);
+        // Physical register 2 is recycled for a new (tainted) value before
+        // the pending broadcast drains: the stale untaint must be dropped.
+        e.rename(ri(2, InstClass::Lossy, &[(3, Data)], Some(2)));
+        let r = e.step();
+        assert!(r.broadcasts.is_empty(), "stale untaint must not reach the new value");
+        assert!(e.reg_taint(2).any());
+    }
+
+    #[test]
+    fn squash_drops_pending_inferences() {
+        let mut e = full();
+        e.rename(RenameInfo {
+            seq: 5,
+            class: InstClass::Load,
+            srcs: [Some((2, Address)), None, None],
+            dest: Some(10),
+            load_bytes: Some(8),
+        });
+        e.declassify_vp(5);
+        e.squash_from(5);
+        let r = e.step();
+        assert!(r.broadcasts.is_empty());
+        assert!(e.reg_taint(2).any(), "squashed declassification must not leak out");
+    }
+
+    #[test]
+    fn shadow_load_output_untaint() {
+        let mut e = full();
+        e.rename(RenameInfo {
+            seq: 1,
+            class: InstClass::Load,
+            srcs: [Some((2, Address)), None, None],
+            dest: Some(10),
+            load_bytes: Some(8),
+        });
+        // Shadow L1 reports the loaded bytes are public.
+        e.set_load_output(1, TaintMask::NONE, UntaintKind::ShadowL1);
+        let r = e.step();
+        assert_eq!(r.broadcasts, vec![(10, UntaintKind::ShadowL1)]);
+        assert_eq!(e.stats().events[UntaintKind::ShadowL1], 1);
+    }
+
+    #[test]
+    fn partially_tainted_load_output_does_not_broadcast() {
+        let mut e = full();
+        e.rename(RenameInfo {
+            seq: 1,
+            class: InstClass::Load,
+            srcs: [Some((2, Address)), None, None],
+            dest: Some(10),
+            load_bytes: Some(8),
+        });
+        // Only the low byte is public.
+        e.set_load_output(1, TaintMask::from_bits(0b1110), UntaintKind::ShadowL1);
+        let r = e.step();
+        assert!(r.broadcasts.is_empty());
+        assert_eq!(e.dest_mask(1), Some(TaintMask::from_bits(0b1110)));
+    }
+
+    #[test]
+    fn secure_baseline_never_untaints() {
+        let mut e = engine(Config::secure_baseline(ThreatModel::Futuristic));
+        e.rename(RenameInfo {
+            seq: 1,
+            class: InstClass::Load,
+            srcs: [Some((2, Address)), None, None],
+            dest: Some(10),
+            load_bytes: Some(8),
+        });
+        e.declassify_vp(1);
+        let r = e.step();
+        assert!(r.broadcasts.is_empty());
+        assert!(e.reg_taint(2).any());
+    }
+
+    #[test]
+    fn convergence_bound_three_visits() {
+        // Paper §6.6: each slot is examined at most 3 times before its
+        // registers stabilize. We verify global convergence: with N slots
+        // and ideal mode, a single step reaches the fixpoint; with bounded
+        // width, at most (3 regs per slot * N) steps are ever needed.
+        let mut e = full();
+        let n = 20;
+        // Build a copy chain r0 -> r1 -> ... -> r(n).
+        for i in 0..n {
+            e.rename(ri(i as Seq + 1, InstClass::Copy, &[(i, Data)], Some(i + 1)));
+        }
+        e.rename(RenameInfo {
+            seq: 100,
+            class: InstClass::Load,
+            srcs: [Some((0, Address)), None, None],
+            dest: Some(60),
+            load_bytes: Some(8),
+        });
+        e.declassify_vp(100);
+        let mut total = 0;
+        for _ in 0..(3 * (n as usize + 1)) {
+            total += e.step().broadcasts.len();
+        }
+        assert_eq!(total as u32, n + 1, "the whole chain converges within the bound");
+        for i in 0..=n {
+            assert!(e.reg_taint(i).is_clear());
+        }
+    }
+}
+
+#[cfg(test)]
+mod grace_tests {
+    use super::*;
+    use crate::config::{Config, ThreatModel};
+    use spt_isa::OperandRole::*;
+
+    /// Regression test for a soundness bug found by the §8 validator: a
+    /// grace entry whose ttl reached zero in the same pass as another
+    /// entry's expiry was dropped from the list without finalization,
+    /// leaking its slot forever. The stale slot could later fire a forward
+    /// untaint on a recycled physical register.
+    #[test]
+    fn every_retired_slot_is_finalized_after_grace() {
+        let mut e = TaintEngine::new(Config::spt_full(ThreatModel::Futuristic), 64);
+        // Retire slots on staggered cycles so ttls interleave.
+        for k in 0..10u64 {
+            e.rename(RenameInfo {
+                seq: k + 1,
+                class: InstClass::Load,
+                srcs: [Some(((k % 8) as PhysReg + 1, Address)), None, None],
+                dest: Some(20 + k as PhysReg),
+                load_bytes: Some(8),
+            });
+        }
+        for k in 0..10u64 {
+            e.retire(k + 1);
+            e.step();
+        }
+        for _ in 0..=TaintEngine::RETIRE_GRACE as usize + 1 {
+            e.step();
+        }
+        assert_eq!(e.live_slots(), 0, "all retired slots must be finalized");
+    }
+
+    #[test]
+    fn stale_slot_cannot_fire_on_recycled_register() {
+        let mut e = TaintEngine::new(Config::spt_full(ThreatModel::Futuristic), 64);
+        // Slot 1: lossy op producing p10 from tainted p5.
+        e.rename(RenameInfo {
+            seq: 1,
+            class: InstClass::Lossy,
+            srcs: [Some((5, Data)), None, None],
+            dest: Some(10),
+            load_bytes: None,
+        });
+        e.retire(1);
+        // Recycle p10 for a new tainted value while slot 1 is in grace.
+        e.rename(RenameInfo {
+            seq: 2,
+            class: InstClass::Load,
+            srcs: [Some((6, Address)), None, None],
+            dest: Some(10),
+            load_bytes: Some(8),
+        });
+        // Now declassify p5 (slot 1's source) via a transmitter.
+        e.rename(RenameInfo {
+            seq: 3,
+            class: InstClass::Load,
+            srcs: [Some((5, Address)), None, None],
+            dest: Some(11),
+            load_bytes: Some(8),
+        });
+        e.declassify_vp(3);
+        // Step far past the grace period: the recycled p10 (the load output
+        // of seq 2) must never be untainted by slot 1's stale forward rule.
+        for _ in 0..12 {
+            e.step();
+            assert!(
+                e.reg_taint(10).any(),
+                "stale slot untainted a recycled register (soundness bug)"
+            );
+        }
+    }
+}

@@ -1,0 +1,496 @@
+//! The §5 untaint algebra at the boolean-gate level, including the
+//! GLIFT-style value-aware rules (paper Figures 2 and 3).
+//!
+//! The instruction-level rules in [`crate::algebra`] are deliberately
+//! conservative — "a function of the instruction's type and the taint of
+//! its registers" only (§6.6) — because hardware must evaluate them in one
+//! cycle without reading values. This module implements the *full* algebra
+//! the paper develops first, where values participate:
+//!
+//! * **Forward GLIFT** (§5.1): `AND(0ᵖᵘᵇ, secret) = 0ᵖᵘᵇ` — a public
+//!   controlling input makes the output public regardless of the other
+//!   input's taint.
+//! * **Backward inference** (§5.2, Figure 2): declassifying `out = AND(a,b)`
+//!   with `out = 1` reveals `a = b = 1`; with `out = 0` and one public `1`
+//!   input, the other input must be `0`.
+//! * **Composition** (§5.3, Figure 3): iterating the rules over a dataflow
+//!   graph of gates propagates declassification both directions until a
+//!   fixpoint.
+//!
+//! Soundness here has a crisp meaning, checked exhaustively by the tests:
+//! a wire may be public only if its value is uniquely determined by the
+//! public wires' values and the circuit structure — i.e. no alternative
+//! assignment to the secret inputs produces the same public observations
+//! with a different value on that wire.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A single bit with a taint label (§5: "we assume data is either public
+/// (untainted) or private (tainted)").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Wire {
+    /// The bit's value.
+    pub value: bool,
+    /// Whether the bit is secret.
+    pub tainted: bool,
+}
+
+impl Wire {
+    /// A public bit.
+    pub fn public(value: bool) -> Wire {
+        Wire { value, tainted: false }
+    }
+
+    /// A secret bit.
+    pub fn secret(value: bool) -> Wire {
+        Wire { value, tainted: true }
+    }
+}
+
+impl fmt::Display for Wire {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.value as u8, if self.tainted { "ᵗ" } else { "" })
+    }
+}
+
+/// Two-input boolean gate kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GateKind {
+    /// Logical AND.
+    And,
+    /// Logical OR.
+    Or,
+    /// Logical XOR.
+    Xor,
+}
+
+impl GateKind {
+    /// Evaluates the gate.
+    pub fn eval(self, a: bool, b: bool) -> bool {
+        match self {
+            GateKind::And => a && b,
+            GateKind::Or => a || b,
+            GateKind::Xor => a ^ b,
+        }
+    }
+}
+
+/// Forward GLIFT taint rule (§5.1): the output is tainted only if a change
+/// to some tainted input *could* change the output given the public inputs.
+///
+/// # Example — paper Figure 2's discussion
+///
+/// ```
+/// use spt_core::gates::{forward_taint, GateKind, Wire};
+/// // 0 & secret = public 0: "it is safe to untaint the output".
+/// assert!(!forward_taint(GateKind::And, Wire::public(false), Wire::secret(true)));
+/// // 1 & secret = secret: "the output becomes a function of in2".
+/// assert!(forward_taint(GateKind::And, Wire::public(true), Wire::secret(true)));
+/// ```
+pub fn forward_taint(kind: GateKind, a: Wire, b: Wire) -> bool {
+    match (a.tainted, b.tainted) {
+        (false, false) => false,
+        (true, true) => true,
+        // One tainted input: the output is public iff the public input
+        // forces the gate's value.
+        (true, false) => match kind {
+            GateKind::And => b.value,  // public 0 forces output 0
+            GateKind::Or => !b.value,  // public 1 forces output 1
+            GateKind::Xor => true,     // xor never forces
+        },
+        (false, true) => match kind {
+            GateKind::And => a.value,
+            GateKind::Or => !a.value,
+            GateKind::Xor => true,
+        },
+    }
+}
+
+/// Backward untaint rule (§5.2, the Figure 2 truth table): given that the
+/// gate's *output* has been declassified (its value is now public), which
+/// inputs become inferable? Returns per-input flags.
+///
+/// The paper's key example: "Suppose the output of the AND gate is 1 and
+/// tainted. If the output becomes declassified/untainted, we can ... infer
+/// that in1 = in2 = 1."
+///
+/// # Example
+///
+/// ```
+/// use spt_core::gates::{backward_untaint, GateKind, Wire};
+/// // out = AND = 1 declassified: both inputs inferable.
+/// let (a, b) = backward_untaint(GateKind::And, Wire::secret(true), Wire::secret(true));
+/// assert!(a && b);
+/// // out = AND = 0 with both inputs secret: neither is inferable.
+/// let (a, b) = backward_untaint(GateKind::And, Wire::secret(false), Wire::secret(true));
+/// assert!(!a && !b);
+/// // out = AND = 0 with a public 1 input: the other must be 0 (§5.2's
+/// // "both the output and in2 become untainted" case).
+/// let (a, _) = backward_untaint(GateKind::And, Wire::secret(false), Wire::public(true));
+/// assert!(a);
+/// ```
+pub fn backward_untaint(kind: GateKind, a: Wire, b: Wire) -> (bool, bool) {
+    let out = kind.eval(a.value, b.value);
+    let infer = |x: Wire, other: Wire| -> bool {
+        if !x.tainted {
+            return false; // already public
+        }
+        // x is inferable iff its value is forced by (out, other-if-public).
+        match kind {
+            GateKind::And => {
+                if out {
+                    true // out = 1 => both inputs are 1
+                } else {
+                    // out = 0: x is forced only if the other input is a
+                    // public 1 (then x must be 0).
+                    !other.tainted && other.value
+                }
+            }
+            GateKind::Or => {
+                if !out {
+                    true // out = 0 => both inputs are 0
+                } else {
+                    !other.tainted && !other.value
+                }
+            }
+            // xor: knowing out and the other input always determines x.
+            GateKind::Xor => !other.tainted,
+        }
+    };
+    (infer(a, b), infer(b, a))
+}
+
+/// A gate in a dataflow graph: output wire = kind(input wires).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Gate {
+    /// Operation.
+    pub kind: GateKind,
+    /// Names of the two input wires.
+    pub inputs: [&'static str; 2],
+    /// Name of the output wire.
+    pub output: &'static str,
+}
+
+/// A small combinational circuit over named wires (§5.3's "composition to
+/// complex dataflow graphs").
+///
+/// # Example — paper Figure 3
+///
+/// ```
+/// use spt_core::gates::{Circuit, Gate, GateKind, Wire};
+///
+/// let mut c = Circuit::new(vec![
+///     Gate { kind: GateKind::Or, inputs: ["t0", "t1"], output: "in1" },
+///     Gate { kind: GateKind::And, inputs: ["in1", "in2"], output: "out" },
+/// ]);
+/// c.set("t0", Wire::secret(false));
+/// c.set("t1", Wire::secret(false));
+/// c.set("in2", Wire::public(true));
+/// c.evaluate();
+/// assert!(c.get("out").tainted);
+///
+/// // ① out is declassified; ② in1 is inferred (in2 is a public 1);
+/// // ③ untaint flows backwards through the OR (out of OR is 0).
+/// c.declassify("out");
+/// c.propagate();
+/// assert!(!c.get("t0").tainted);
+/// assert!(!c.get("t1").tainted);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Circuit {
+    gates: Vec<Gate>,
+    wires: BTreeMap<&'static str, Wire>,
+}
+
+impl Circuit {
+    /// Creates a circuit from gates in topological order.
+    pub fn new(gates: Vec<Gate>) -> Circuit {
+        Circuit { gates, wires: BTreeMap::new() }
+    }
+
+    /// Sets an input wire.
+    pub fn set(&mut self, name: &'static str, wire: Wire) {
+        self.wires.insert(name, wire);
+    }
+
+    /// Reads a wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wire has not been computed or set.
+    pub fn get(&self, name: &str) -> Wire {
+        self.wires[name]
+    }
+
+    /// Computes every gate output (values + forward GLIFT taint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a gate reads a wire that is neither an input nor an
+    /// earlier gate's output.
+    pub fn evaluate(&mut self) {
+        for g in &self.gates {
+            let a = self.wires[g.inputs[0]];
+            let b = self.wires[g.inputs[1]];
+            let w = Wire {
+                value: g.kind.eval(a.value, b.value),
+                tainted: forward_taint(g.kind, a, b),
+            };
+            self.wires.insert(g.output, w);
+        }
+    }
+
+    /// Declassifies a wire (paper: "conceptualized as `declassify(val)`").
+    pub fn declassify(&mut self, name: &'static str) {
+        if let Some(w) = self.wires.get_mut(name) {
+            w.tainted = false;
+        }
+    }
+
+    /// Applies the forward and backward rules repeatedly until no wire
+    /// changes (§5.3): declassification ripples through the graph in both
+    /// directions.
+    pub fn propagate(&mut self) {
+        loop {
+            let mut changed = false;
+            for g in &self.gates {
+                let a = self.wires[g.inputs[0]];
+                let b = self.wires[g.inputs[1]];
+                let out = self.wires[g.output];
+                // Forward: output untaints when the rule says so.
+                if out.tainted && !forward_taint(g.kind, a, b) {
+                    self.wires.get_mut(g.output).expect("known wire").tainted = false;
+                    changed = true;
+                }
+                // Backward: only once the output is public can its value be
+                // used for inference.
+                if !self.wires[g.output].tainted {
+                    let (ia, ib) = backward_untaint(g.kind, a, b);
+                    if ia {
+                        self.wires.get_mut(g.inputs[0]).expect("known wire").tainted = false;
+                        changed = true;
+                    }
+                    if ib {
+                        self.wires.get_mut(g.inputs[1]).expect("known wire").tainted = false;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// Names of all wires, in order.
+    pub fn wire_names(&self) -> Vec<&'static str> {
+        self.wires.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bools() -> [bool; 2] {
+        [false, true]
+    }
+
+    /// Exhaustive soundness of the forward rule: if the rule declares the
+    /// output public, the output value must be independent of every
+    /// tainted input.
+    #[test]
+    fn forward_rule_is_sound_exhaustively() {
+        for kind in [GateKind::And, GateKind::Or, GateKind::Xor] {
+            for av in bools() {
+                for bv in bools() {
+                    for at in bools() {
+                        for bt in bools() {
+                            let a = Wire { value: av, tainted: at };
+                            let b = Wire { value: bv, tainted: bt };
+                            if !forward_taint(kind, a, b) {
+                                // Flip every combination of tainted inputs:
+                                // the output must not change.
+                                for fa in bools() {
+                                    for fb in bools() {
+                                        let av2 = if at { fa } else { av };
+                                        let bv2 = if bt { fb } else { bv };
+                                        assert_eq!(
+                                            kind.eval(av2, bv2),
+                                            kind.eval(av, bv),
+                                            "{kind:?} leaked through a public output"
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Exhaustive soundness of the backward rule: an input declared
+    /// inferable must be uniquely determined by the output value and the
+    /// public inputs.
+    #[test]
+    fn backward_rule_is_sound_exhaustively() {
+        for kind in [GateKind::And, GateKind::Or, GateKind::Xor] {
+            for av in bools() {
+                for bv in bools() {
+                    for at in bools() {
+                        for bt in bools() {
+                            let a = Wire { value: av, tainted: at };
+                            let b = Wire { value: bv, tainted: bt };
+                            let out = kind.eval(av, bv);
+                            let (ia, ib) = backward_untaint(kind, a, b);
+                            // Check input a: no alternative secret values may
+                            // reproduce `out` (and the public inputs) with a
+                            // different a.
+                            if ia {
+                                for av2 in bools() {
+                                    for bv2 in bools() {
+                                        let consistent = kind.eval(av2, bv2) == out
+                                            && (at || av2 == av)
+                                            && (bt || bv2 == bv);
+                                        if consistent {
+                                            assert_eq!(av2, av, "{kind:?}: a not determined");
+                                        }
+                                    }
+                                }
+                            }
+                            if ib {
+                                for av2 in bools() {
+                                    for bv2 in bools() {
+                                        let consistent = kind.eval(av2, bv2) == out
+                                            && (at || av2 == av)
+                                            && (bt || bv2 == bv);
+                                        if consistent {
+                                            assert_eq!(bv2, bv, "{kind:?}: b not determined");
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Backward completeness on the paper's Figure 2 truth table: every
+    /// case where the paper says the inputs are inferable, the rule agrees.
+    #[test]
+    fn figure_2_truth_table() {
+        // out = AND(in1, in2) = 1, declassified: in1 = in2 = 1 inferable.
+        let (a, b) = backward_untaint(GateKind::And, Wire::secret(true), Wire::secret(true));
+        assert!(a && b);
+        // out = 0 with both inputs tainted: "it could have been the case
+        // that either (or both) ... were 0" — nothing inferable.
+        for (x, y) in [(false, false), (false, true), (true, false)] {
+            let (a, b) = backward_untaint(GateKind::And, Wire::secret(x), Wire::secret(y));
+            assert!(!a && !b, "AND({x},{y})=0 must not infer");
+        }
+        // "suppose that both the output and in2 become untainted. In that
+        // case, we can now untaint in1 because out = 0 ∧ in2 = 1 → in1 = 0."
+        let (a, _) = backward_untaint(GateKind::And, Wire::secret(false), Wire::public(true));
+        assert!(a);
+        // With in2 = 0 public, in1 remains unconstrained.
+        let (a, _) = backward_untaint(GateKind::And, Wire::secret(false), Wire::public(false));
+        assert!(!a);
+    }
+
+    /// The paper's Figure 3 composition: declassifying `out` infers `t0`
+    /// through the AND, then ripples backwards through the OR.
+    #[test]
+    fn figure_3_composition() {
+        let mut c = Circuit::new(vec![
+            Gate { kind: GateKind::Or, inputs: ["t0", "t1"], output: "in1" },
+            Gate { kind: GateKind::And, inputs: ["in1", "in2"], output: "out" },
+        ]);
+        c.set("t0", Wire::secret(false));
+        c.set("t1", Wire::secret(false));
+        c.set("in2", Wire::public(true));
+        c.evaluate();
+        assert!(c.get("in1").tainted, "OR of secrets is secret");
+        assert!(c.get("out").tainted);
+
+        c.declassify("out");
+        c.propagate();
+        assert!(!c.get("in1").tainted, "② in1 inferred: out = 0 ∧ in2 = 1");
+        assert!(!c.get("t0").tainted, "③ OR output 0 forces both inputs 0");
+        assert!(!c.get("t1").tainted);
+    }
+
+    /// Figure 3 with values where inference must stop: out = 1 through an
+    /// OR means the OR inputs are NOT individually determined.
+    #[test]
+    fn composition_stops_when_information_runs_out() {
+        let mut c = Circuit::new(vec![
+            Gate { kind: GateKind::Or, inputs: ["t0", "t1"], output: "in1" },
+            Gate { kind: GateKind::And, inputs: ["in1", "in2"], output: "out" },
+        ]);
+        c.set("t0", Wire::secret(true));
+        c.set("t1", Wire::secret(false));
+        c.set("in2", Wire::public(true));
+        c.evaluate();
+        c.declassify("out");
+        c.propagate();
+        assert!(!c.get("in1").tainted, "in1 = out / in2 inferable");
+        // in1 = 1 through an OR: either input could be the 1.
+        assert!(c.get("t0").tainted, "t0 must stay secret");
+        assert!(c.get("t1").tainted, "t1 must stay secret");
+    }
+
+    /// GLIFT forward case the conservative instruction rules skip: a public
+    /// 0 into an AND cleans the output immediately.
+    #[test]
+    fn glift_forward_masking() {
+        let mut c = Circuit::new(vec![Gate {
+            kind: GateKind::And,
+            inputs: ["mask", "secret"],
+            output: "out",
+        }]);
+        c.set("mask", Wire::public(false));
+        c.set("secret", Wire::secret(true));
+        c.evaluate();
+        assert!(!c.get("out").tainted, "0 & secret is public 0");
+
+        // The §5.1 dynamic case: mask starts tainted, later declassified as
+        // 0; re-applying the rules untaints the output.
+        let mut c = Circuit::new(vec![Gate {
+            kind: GateKind::And,
+            inputs: ["mask", "secret"],
+            output: "out",
+        }]);
+        c.set("mask", Wire::secret(false));
+        c.set("secret", Wire::secret(true));
+        c.evaluate();
+        assert!(c.get("out").tainted);
+        c.declassify("mask");
+        c.propagate();
+        assert!(!c.get("out").tainted, "declassified 0 mask cleans the output");
+    }
+
+    /// Propagation terminates (monotone: taints only ever clear).
+    #[test]
+    fn propagation_reaches_fixpoint_on_chains() {
+        // xor chain: c1 = a ^ b; c2 = c1 ^ b; ... declassifying the end and
+        // b recovers everything.
+        let mut c = Circuit::new(vec![
+            Gate { kind: GateKind::Xor, inputs: ["a", "b"], output: "c1" },
+            Gate { kind: GateKind::Xor, inputs: ["c1", "b"], output: "c2" },
+            Gate { kind: GateKind::Xor, inputs: ["c2", "b"], output: "c3" },
+        ]);
+        c.set("a", Wire::secret(true));
+        c.set("b", Wire::secret(false));
+        c.evaluate();
+        c.declassify("c3");
+        c.declassify("b");
+        c.propagate();
+        for w in ["a", "c1", "c2", "c3", "b"] {
+            assert!(!c.get(w).tainted, "{w} should be inferable through the xor chain");
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Untaint-event taxonomy and statistics (paper Figures 8 and 9).
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Why a register (or memory range) became untainted. These are the
+/// *exclusive* event categories of paper Figure 8: each untaint event is
+/// attributed to exactly one mechanism.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UntaintKind {
+    /// Output of a "load immediate" untainted at rename (§6.5).
+    LoadImm,
+    /// Operand of a load/store declassified when the transmitter reached
+    /// the visibility point (§6.6).
+    DeclassifyTransmit,
+    /// Operand of a branch/jump declassified at its visibility point.
+    DeclassifyBranch,
+    /// Forward (output) untaint rule (§6.6).
+    Forward,
+    /// Backward (input) untaint rule (§6.6).
+    Backward,
+    /// Load output untainted by store-to-load forwarding of untainted data
+    /// under `STLPublic` (§6.7, rule ①).
+    StlForward,
+    /// Store data operand untainted because the forwarded load's output
+    /// became untainted under `STLPublic` (§6.7, rule ②).
+    StlBackward,
+    /// Load output untainted because the shadow L1 proved the loaded bytes
+    /// public (§6.8).
+    ShadowL1,
+    /// Load output untainted by idealized whole-memory taint tracking.
+    ShadowMem,
+}
+
+impl UntaintKind {
+    /// All kinds, in Figure-8 display order.
+    pub const ALL: [UntaintKind; 9] = [
+        UntaintKind::LoadImm,
+        UntaintKind::DeclassifyTransmit,
+        UntaintKind::DeclassifyBranch,
+        UntaintKind::Forward,
+        UntaintKind::Backward,
+        UntaintKind::StlForward,
+        UntaintKind::StlBackward,
+        UntaintKind::ShadowL1,
+        UntaintKind::ShadowMem,
+    ];
+
+    /// Short label used in the Figure-8 table.
+    pub fn label(self) -> &'static str {
+        match self {
+            UntaintKind::LoadImm => "load-imm",
+            UntaintKind::DeclassifyTransmit => "declass-xmit",
+            UntaintKind::DeclassifyBranch => "declass-br",
+            UntaintKind::Forward => "forward",
+            UntaintKind::Backward => "backward",
+            UntaintKind::StlForward => "stl-fwd",
+            UntaintKind::StlBackward => "stl-bwd",
+            UntaintKind::ShadowL1 => "shadow-l1",
+            UntaintKind::ShadowMem => "shadow-mem",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            UntaintKind::LoadImm => 0,
+            UntaintKind::DeclassifyTransmit => 1,
+            UntaintKind::DeclassifyBranch => 2,
+            UntaintKind::Forward => 3,
+            UntaintKind::Backward => 4,
+            UntaintKind::StlForward => 5,
+            UntaintKind::StlBackward => 6,
+            UntaintKind::ShadowL1 => 7,
+            UntaintKind::ShadowMem => 8,
+        }
+    }
+}
+
+impl fmt::Display for UntaintKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Event counters per [`UntaintKind`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UntaintCounts([u64; UntaintKind::ALL.len()]);
+
+impl UntaintCounts {
+    /// Total events across kinds.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// Iterates `(kind, count)` in display order.
+    pub fn iter(&self) -> impl Iterator<Item = (UntaintKind, u64)> + '_ {
+        UntaintKind::ALL.iter().map(move |&k| (k, self.0[k.index()]))
+    }
+}
+
+impl Index<UntaintKind> for UntaintCounts {
+    type Output = u64;
+    fn index(&self, k: UntaintKind) -> &u64 {
+        &self.0[k.index()]
+    }
+}
+
+impl IndexMut<UntaintKind> for UntaintCounts {
+    fn index_mut(&mut self, k: UntaintKind) -> &mut u64 {
+        &mut self.0[k.index()]
+    }
+}
+
+/// Statistics accumulated by the SPT taint engine.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SptStats {
+    /// Untaint events by mechanism (Figure 8).
+    pub events: UntaintCounts,
+    /// Histogram of *registers untainted per untainting cycle* (Figure 9):
+    /// bucket `i` (0-based) counts cycles that untainted `i + 1` registers;
+    /// the last bucket counts cycles with more than 10.
+    pub untaint_cycle_hist: [u64; 11],
+    /// Cycles in which at least one register was untainted.
+    pub untainting_cycles: u64,
+    /// Broadcasts deferred because the per-cycle width was exhausted.
+    pub broadcasts_deferred: u64,
+}
+
+impl SptStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> SptStats {
+        SptStats::default()
+    }
+
+    /// Records that `n` registers were untainted in one cycle (`n > 0`).
+    pub fn record_untaint_cycle(&mut self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        self.untainting_cycles += 1;
+        let bucket = (n - 1).min(10);
+        self.untaint_cycle_hist[bucket] += 1;
+    }
+
+    /// Fraction of untainting cycles that untainted at most `n` registers
+    /// (the Figure-9 CDF), or 1.0 if no cycle untainted anything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or greater than 10.
+    pub fn cdf_at_most(&self, n: usize) -> f64 {
+        assert!((1..=10).contains(&n));
+        if self.untainting_cycles == 0 {
+            return 1.0;
+        }
+        let sum: u64 = self.untaint_cycle_hist[..n].iter().sum();
+        sum as f64 / self.untainting_cycles as f64
+    }
+
+    /// Adds another stats block into this one.
+    pub fn merge(&mut self, other: &SptStats) {
+        for k in UntaintKind::ALL {
+            self.events[k] += other.events[k];
+        }
+        for (a, b) in self.untaint_cycle_hist.iter_mut().zip(other.untaint_cycle_hist) {
+            *a += b;
+        }
+        self.untainting_cycles += other.untainting_cycles;
+        self.broadcasts_deferred += other.broadcasts_deferred;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_index_by_kind() {
+        let mut c = UntaintCounts::default();
+        c[UntaintKind::Forward] += 3;
+        c[UntaintKind::ShadowL1] += 1;
+        assert_eq!(c[UntaintKind::Forward], 3);
+        assert_eq!(c.total(), 4);
+        let all: Vec<_> = c.iter().collect();
+        assert_eq!(all.len(), 9);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut s = SptStats::new();
+        s.record_untaint_cycle(1);
+        s.record_untaint_cycle(3);
+        s.record_untaint_cycle(3);
+        s.record_untaint_cycle(25); // clamps to the 10+ bucket
+        s.record_untaint_cycle(0); // ignored
+        assert_eq!(s.untainting_cycles, 4);
+        assert_eq!(s.untaint_cycle_hist[0], 1);
+        assert_eq!(s.untaint_cycle_hist[2], 2);
+        assert_eq!(s.untaint_cycle_hist[10], 1);
+        assert!((s.cdf_at_most(3) - 0.75).abs() < 1e-9);
+        assert!((s.cdf_at_most(10) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = SptStats::new();
+        a.events[UntaintKind::Backward] = 2;
+        a.record_untaint_cycle(2);
+        let mut b = SptStats::new();
+        b.events[UntaintKind::Backward] = 5;
+        b.record_untaint_cycle(1);
+        a.merge(&b);
+        assert_eq!(a.events[UntaintKind::Backward], 7);
+        assert_eq!(a.untainting_cycles, 2);
+    }
+
+    #[test]
+    fn empty_cdf_is_one() {
+        assert_eq!(SptStats::new().cdf_at_most(1), 1.0);
+    }
+}

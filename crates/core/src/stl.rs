@@ -1,0 +1,99 @@
+//! Store-to-load forwarding untaint gating: the `STLPublic` condition
+//! (paper §6.7) and its counter-based hardware tracking (§7.4).
+//!
+//! `STLPublic(S, L)` holds iff ① store `S`'s data is forwarded to load `L`,
+//! ② `L`'s address is untainted, and ③ the addresses of every store older
+//! than `L` and younger than or equal to `S` are untainted. Only then does
+//! the attacker know — from public information — that `L` got its data
+//! from `S`, so only then may untaint propagate across the pair without
+//! revealing a secret address alias (paper Figure 5).
+//!
+//! The hardware tracks this per LSQ load entry with two fields: `FwdingSt`
+//! (the forwarding store) and `NumStUntaintPending` (how many involved
+//! stores still have tainted addresses); each store-address untaint
+//! broadcast decrements the counter, and the condition becomes true at
+//! zero. [`StlCondition`] models exactly that counter.
+
+/// Per-load tracking of one pending `STLPublic(S, L)` condition.
+///
+/// # Example
+///
+/// ```
+/// use spt_core::stl::StlCondition;
+///
+/// // Forwarding detected with 2 involved stores still tainted.
+/// let mut c = StlCondition::pending(2);
+/// assert!(!c.is_public());
+/// c.on_store_address_untainted();
+/// assert!(!c.is_public());
+/// c.on_store_address_untainted();
+/// assert!(c.is_public());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StlCondition {
+    /// `NumStUntaintPending` (§7.4): stores with tainted addresses still
+    /// involved in the implicit forwarding branch.
+    remaining: u32,
+}
+
+impl StlCondition {
+    /// Condition already public: the load's address and every involved
+    /// store address were untainted when forwarding was decided.
+    pub fn public() -> StlCondition {
+        StlCondition { remaining: 0 }
+    }
+
+    /// Condition pending on `tainted_stores` store-address untaints.
+    pub fn pending(tainted_stores: u32) -> StlCondition {
+        StlCondition { remaining: tainted_stores }
+    }
+
+    /// Records that one involved store's address became untainted.
+    /// Returns `true` if the condition just became public.
+    pub fn on_store_address_untainted(&mut self) -> bool {
+        if self.remaining == 0 {
+            return false;
+        }
+        self.remaining -= 1;
+        self.remaining == 0
+    }
+
+    /// Whether `STLPublic` currently holds.
+    pub fn is_public(&self) -> bool {
+        self.remaining == 0
+    }
+
+    /// Stores still pending.
+    pub fn remaining(&self) -> u32 {
+        self.remaining
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn immediately_public() {
+        let c = StlCondition::public();
+        assert!(c.is_public());
+    }
+
+    #[test]
+    fn decrements_to_public_exactly_once() {
+        let mut c = StlCondition::pending(1);
+        assert!(!c.is_public());
+        assert!(c.on_store_address_untainted(), "transition reported");
+        assert!(c.is_public());
+        assert!(!c.on_store_address_untainted(), "no re-transition");
+    }
+
+    #[test]
+    fn multiple_pending_stores() {
+        let mut c = StlCondition::pending(3);
+        assert!(!c.on_store_address_untainted());
+        assert!(!c.on_store_address_untainted());
+        assert_eq!(c.remaining(), 1);
+        assert!(c.on_store_address_untainted());
+    }
+}

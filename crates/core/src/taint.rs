@@ -1,0 +1,166 @@
+//! Register taint status with partial-width access modes (paper §7.2).
+
+use std::fmt;
+
+/// Taint status of one 64-bit register, tracked at the paper's four
+/// partial-access granularities (§7.2): bits `[7:0]`, `[15:8]`, `[31:16]`
+/// and `[63:32]`. A field bit of 1 means that slice of the register is
+/// tainted (secret).
+///
+/// Byte-granularity load/store taint (shadow L1, §7.5) is converted to and
+/// from this 4-field form: byte `i` maps to field 0 (`i == 0`), 1 (`i == 1`),
+/// 2 (`i ∈ 2..4`) or 3 (`i ∈ 4..8`).
+///
+/// # Example
+///
+/// ```
+/// use spt_core::TaintMask;
+///
+/// let t = TaintMask::ALL;
+/// assert!(t.any());
+/// let lo = TaintMask::for_bytes(0..1); // only byte 0 tainted
+/// assert!(lo.any());
+/// assert_eq!(lo.union(TaintMask::NONE), lo);
+/// assert!(!lo.field(3));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TaintMask(u8);
+
+impl TaintMask {
+    /// Number of partial-width fields.
+    pub const FIELDS: usize = 4;
+
+    /// Fully tainted register.
+    pub const ALL: TaintMask = TaintMask(0b1111);
+
+    /// Fully public register.
+    pub const NONE: TaintMask = TaintMask(0);
+
+    /// Creates a mask from raw field bits (low 4 bits used).
+    pub fn from_bits(bits: u8) -> TaintMask {
+        TaintMask(bits & 0b1111)
+    }
+
+    /// Raw field bits.
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Whether any field is tainted.
+    pub fn any(self) -> bool {
+        self.0 != 0
+    }
+
+    /// Whether every field is public.
+    pub fn is_clear(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Taint of field `i` (0..4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 4`.
+    pub fn field(self, i: usize) -> bool {
+        assert!(i < Self::FIELDS);
+        (self.0 >> i) & 1 == 1
+    }
+
+    /// The field index covering byte `byte` (0..8) of the register.
+    pub fn field_of_byte(byte: u64) -> usize {
+        match byte {
+            0 => 0,
+            1 => 1,
+            2 | 3 => 2,
+            _ => 3,
+        }
+    }
+
+    /// Mask with the fields covering the byte range tainted and all other
+    /// fields public. Used for loads: a `k`-byte zero-extending load can
+    /// only carry taint in its low `k` bytes; the zero upper bytes are
+    /// public by construction.
+    pub fn for_bytes(range: std::ops::Range<u64>) -> TaintMask {
+        let mut bits = 0u8;
+        for b in range {
+            if b < 8 {
+                bits |= 1 << Self::field_of_byte(b);
+            }
+        }
+        TaintMask(bits)
+    }
+
+    /// Union (tainted if tainted in either).
+    pub fn union(self, other: TaintMask) -> TaintMask {
+        TaintMask(self.0 | other.0)
+    }
+
+    /// Intersection (tainted only if tainted in both). This is the shadow
+    /// L1 `AND` of register and line taint on a load (paper §7.5).
+    pub fn intersect(self, other: TaintMask) -> TaintMask {
+        TaintMask(self.0 & other.0)
+    }
+
+    /// The taint of byte `byte` (0..8) under this mask.
+    pub fn byte_tainted(self, byte: u64) -> bool {
+        self.field(Self::field_of_byte(byte))
+    }
+}
+
+impl fmt::Debug for TaintMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TaintMask({:04b})", self.0)
+    }
+}
+
+impl fmt::Display for TaintMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clear() {
+            f.write_str("public")
+        } else if *self == TaintMask::ALL {
+            f.write_str("tainted")
+        } else {
+            write!(f, "partial({:04b})", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_field_mapping() {
+        assert_eq!(TaintMask::field_of_byte(0), 0);
+        assert_eq!(TaintMask::field_of_byte(1), 1);
+        assert_eq!(TaintMask::field_of_byte(2), 2);
+        assert_eq!(TaintMask::field_of_byte(3), 2);
+        assert_eq!(TaintMask::field_of_byte(4), 3);
+        assert_eq!(TaintMask::field_of_byte(7), 3);
+    }
+
+    #[test]
+    fn for_bytes_load_widths() {
+        assert_eq!(TaintMask::for_bytes(0..1).bits(), 0b0001);
+        assert_eq!(TaintMask::for_bytes(0..2).bits(), 0b0011);
+        assert_eq!(TaintMask::for_bytes(0..4).bits(), 0b0111);
+        assert_eq!(TaintMask::for_bytes(0..8).bits(), 0b1111);
+        assert_eq!(TaintMask::for_bytes(0..0).bits(), 0);
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = TaintMask::from_bits(0b0011);
+        let b = TaintMask::from_bits(0b0110);
+        assert_eq!(a.union(b).bits(), 0b0111);
+        assert_eq!(a.intersect(b).bits(), 0b0010);
+        assert!(a.intersect(TaintMask::NONE).is_clear());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TaintMask::NONE.to_string(), "public");
+        assert_eq!(TaintMask::ALL.to_string(), "tainted");
+        assert_eq!(TaintMask::from_bits(0b0001).to_string(), "partial(0001)");
+    }
+}

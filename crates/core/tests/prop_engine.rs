@@ -1,0 +1,352 @@
+//! Property-based tests of the SPT taint engine and algebra: the
+//! invariants the paper's design and proof rely on, checked under
+//! arbitrary event orders.
+
+use proptest::prelude::*;
+use spt_core::engine::{PhysReg, RenameInfo, Seq};
+use spt_core::{Config, TaintEngine, TaintMask, ThreatModel, UntaintKind};
+use spt_isa::{InstClass, OperandRole};
+
+const NUM_PHYS: usize = 48;
+
+#[derive(Clone, Debug)]
+enum Event {
+    RenameAlu { invertible: bool, s1: u8, s2: u8, d: u8 },
+    RenameCopy { s: u8, d: u8 },
+    RenameConst { d: u8 },
+    RenameLoad { addr: u8, d: u8, bytes: u8 },
+    DeclassifyVp { which: u8 },
+    LoadPublic { which: u8 },
+    Retire { which: u8 },
+    Squash { frac: u8 },
+    Step,
+}
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        (any::<bool>(), any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(invertible, s1, s2, d)| Event::RenameAlu { invertible, s1, s2, d }),
+        (any::<u8>(), any::<u8>()).prop_map(|(s, d)| Event::RenameCopy { s, d }),
+        any::<u8>().prop_map(|d| Event::RenameConst { d }),
+        (any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(addr, d, bytes)| Event::RenameLoad { addr, d, bytes }),
+        any::<u8>().prop_map(|which| Event::DeclassifyVp { which }),
+        any::<u8>().prop_map(|which| Event::LoadPublic { which }),
+        any::<u8>().prop_map(|which| Event::Retire { which }),
+        any::<u8>().prop_map(|frac| Event::Squash { frac }),
+        Just(Event::Step),
+    ]
+}
+
+/// Drives an engine through an event sequence, tracking live seqs and the
+/// set of registers ever broadcast-untainted.
+///
+/// The harness respects the pipeline's physical-register discipline: a
+/// register is only reallocated as a destination once no live (un-retired,
+/// un-squashed) slot references it — the invariant the engine's
+/// recycled-register purge relies on, which the real rename free list
+/// guarantees.
+struct Harness {
+    engine: TaintEngine,
+    next_seq: Seq,
+    live: Vec<LiveSlot>,
+    untainted_ever: Vec<PhysReg>,
+    /// Registers holding values (selectable as sources).
+    defined: Vec<PhysReg>,
+    /// Registers with no live references (allocatable as destinations).
+    free: Vec<PhysReg>,
+    /// Live-slot reference counts per register.
+    refs: Vec<u32>,
+}
+
+#[derive(Clone, Debug)]
+struct LiveSlot {
+    seq: Seq,
+    is_load: bool,
+    regs: Vec<PhysReg>,
+}
+
+impl Harness {
+    fn new(cfg: Config) -> Harness {
+        Harness {
+            engine: TaintEngine::new(cfg, NUM_PHYS),
+            next_seq: 1,
+            live: Vec::new(),
+            untainted_ever: Vec::new(),
+            defined: (1..NUM_PHYS as PhysReg / 2).collect(),
+            free: (NUM_PHYS as PhysReg / 2..NUM_PHYS as PhysReg).collect(),
+            refs: vec![0; NUM_PHYS],
+        }
+    }
+
+    fn pick_src(&self, x: u8) -> PhysReg {
+        self.defined[x as usize % self.defined.len()]
+    }
+
+    fn alloc_dest(&mut self) -> Option<PhysReg> {
+        // Only allocate registers with no live references.
+        let pos = self.free.iter().position(|&p| self.refs[p as usize] == 0)?;
+        let p = self.free.swap_remove(pos);
+        self.defined.push(p);
+        p.into()
+    }
+
+    fn register_slot(&mut self, seq: Seq, is_load: bool, regs: Vec<PhysReg>) {
+        for &r in &regs {
+            self.refs[r as usize] += 1;
+        }
+        self.live.push(LiveSlot { seq, is_load, regs });
+    }
+
+    fn release_slot(&mut self, slot: &LiveSlot) {
+        for &r in &slot.regs {
+            self.refs[r as usize] -= 1;
+        }
+        // The destination (last reg) becomes reallocatable once unreferenced;
+        // mirror the pipeline by recycling it through the free list.
+        if let Some(&dest) = slot.regs.last() {
+            if self.refs[dest as usize] == 0 && !self.free.contains(&dest) {
+                if let Some(pos) = self.defined.iter().position(|&p| p == dest) {
+                    // Keep a healthy pool of defined sources.
+                    if self.defined.len() > 8 {
+                        self.defined.swap_remove(pos);
+                        self.free.push(dest);
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply(&mut self, ev: &Event) {
+        match *ev {
+            Event::RenameAlu { invertible, s1, s2, d } => {
+                let _ = d;
+                let class = if invertible { InstClass::Invertible2 } else { InstClass::Lossy };
+                let (p1, p2) = (self.pick_src(s1), self.pick_src(s2));
+                let Some(dest) = self.alloc_dest() else { return };
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.engine.rename(RenameInfo {
+                    seq,
+                    class,
+                    srcs: [
+                        Some((p1, OperandRole::Data)),
+                        Some((p2, OperandRole::Data)),
+                        None,
+                    ],
+                    dest: Some(dest),
+                    load_bytes: None,
+                });
+                self.register_slot(seq, false, vec![p1, p2, dest]);
+            }
+            Event::RenameCopy { s, d } => {
+                let _ = d;
+                let p = self.pick_src(s);
+                let Some(dest) = self.alloc_dest() else { return };
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.engine.rename(RenameInfo {
+                    seq,
+                    class: InstClass::Copy,
+                    srcs: [Some((p, OperandRole::Data)), None, None],
+                    dest: Some(dest),
+                    load_bytes: None,
+                });
+                self.register_slot(seq, false, vec![p, dest]);
+            }
+            Event::RenameConst { d } => {
+                let _ = d;
+                let Some(dest) = self.alloc_dest() else { return };
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.engine.rename(RenameInfo {
+                    seq,
+                    class: InstClass::Const,
+                    srcs: [None, None, None],
+                    dest: Some(dest),
+                    load_bytes: None,
+                });
+                self.register_slot(seq, false, vec![dest]);
+            }
+            Event::RenameLoad { addr, d, bytes } => {
+                let _ = d;
+                let p = self.pick_src(addr);
+                let Some(dest) = self.alloc_dest() else { return };
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.engine.rename(RenameInfo {
+                    seq,
+                    class: InstClass::Load,
+                    srcs: [Some((p, OperandRole::Address)), None, None],
+                    dest: Some(dest),
+                    load_bytes: Some([1u64, 2, 4, 8][bytes as usize % 4]),
+                });
+                self.register_slot(seq, true, vec![p, dest]);
+            }
+            Event::DeclassifyVp { which } => {
+                if let Some(slot) = pick(&self.live, which) {
+                    let seq = slot.seq;
+                    self.engine.declassify_vp(seq);
+                }
+            }
+            Event::LoadPublic { which } => {
+                let loads: Vec<Seq> =
+                    self.live.iter().filter(|s| s.is_load).map(|s| s.seq).collect();
+                if let Some(&seq) = pick(&loads, which) {
+                    self.engine.set_load_output(seq, TaintMask::NONE, UntaintKind::ShadowL1);
+                }
+            }
+            Event::Retire { which } => {
+                // Retire in order from the oldest.
+                let n = (which as usize % 4) + 1;
+                for _ in 0..n {
+                    if self.live.is_empty() {
+                        break;
+                    }
+                    let slot = self.live.remove(0);
+                    self.engine.retire(slot.seq);
+                    self.release_slot(&slot);
+                }
+            }
+            Event::Squash { frac } => {
+                if self.live.is_empty() {
+                    return;
+                }
+                let keep = frac as usize % self.live.len();
+                let from = self.live[keep].seq;
+                self.engine.squash_from(from);
+                let squashed: Vec<LiveSlot> = self.live.split_off(keep);
+                for slot in &squashed {
+                    self.release_slot(slot);
+                }
+            }
+            Event::Step => {
+                let res = self.engine.step();
+                self.untainted_ever.extend(res.broadcasts.iter().map(|b| b.0));
+            }
+        }
+    }
+}
+
+fn pick<T>(v: &[T], which: u8) -> Option<&T> {
+    if v.is_empty() {
+        None
+    } else {
+        v.get(which as usize % v.len())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Monotonicity: once a register is broadcast-untainted, it stays
+    /// public until overwritten by a new rename — the property the paper's
+    /// convergence argument (§6.6) rests on.
+    #[test]
+    fn broadcast_untaint_is_monotone(
+        events in proptest::collection::vec(event_strategy(), 1..120)
+    ) {
+        let mut h = Harness::new(Config::spt_full(ThreatModel::Futuristic));
+        let mut public: Vec<PhysReg> = Vec::new();
+        for ev in &events {
+            let frees_before = h.free.len();
+            h.apply(ev);
+            // Renames may legally re-taint their (freshly allocated)
+            // destination register; any newly allocated register leaves the
+            // public set.
+            if h.free.len() != frees_before {
+                public.retain(|&p| h.engine.reg_taint(p).is_clear());
+            }
+            for &p in &public {
+                prop_assert!(
+                    h.engine.reg_taint(p).is_clear(),
+                    "register p{p} was re-tainted without a rename"
+                );
+            }
+            if let Event::Step = ev {
+                for &p in &h.untainted_ever {
+                    if !public.contains(&p) {
+                        public.push(p);
+                    }
+                }
+                // Remove entries that have since been renamed over: the
+                // untainted_ever list is only advisory across renames.
+                public.retain(|&p| h.engine.reg_taint(p).is_clear());
+                h.untainted_ever.clear();
+            }
+        }
+    }
+
+    /// Convergence: after any event sequence, repeated stepping reaches a
+    /// fixpoint within the paper's bound (each in-flight instruction is
+    /// examined at most 3 times; with bounded broadcast width the global
+    /// bound is 3 registers per slot).
+    #[test]
+    fn stepping_reaches_a_fixpoint(
+        events in proptest::collection::vec(event_strategy(), 1..100)
+    ) {
+        let mut h = Harness::new(Config::spt_full(ThreatModel::Futuristic));
+        for ev in &events {
+            h.apply(ev);
+        }
+        let bound = 3 * (h.engine.live_slots() + 1) * 3 + 16;
+        let mut quiet = 0;
+        for _ in 0..bound {
+            if h.engine.step().broadcasts.is_empty() {
+                quiet += 1;
+                if quiet >= 8 {
+                    return Ok(());
+                }
+            } else {
+                quiet = 0;
+            }
+        }
+        prop_assert!(false, "engine did not converge within {bound} steps");
+    }
+
+    /// SecureBaseline invariance: with untainting disabled, no register is
+    /// ever broadcast-untainted, regardless of the event sequence.
+    #[test]
+    fn secure_baseline_never_broadcasts(
+        events in proptest::collection::vec(event_strategy(), 1..100)
+    ) {
+        let mut h = Harness::new(Config::secure_baseline(ThreatModel::Futuristic));
+        for ev in &events {
+            h.apply(ev);
+        }
+        for _ in 0..32 {
+            prop_assert!(h.engine.step().broadcasts.is_empty());
+        }
+    }
+
+    /// Ideal mode subsumes bounded mode: any register public after bounded
+    /// stepping is also public under ideal propagation of the same events.
+    #[test]
+    fn ideal_reaches_at_least_the_bounded_fixpoint(
+        events in proptest::collection::vec(event_strategy(), 1..80)
+    ) {
+        let mut bounded = Harness::new(Config::spt_full(ThreatModel::Futuristic));
+        let mut ideal = Harness::new({
+            let mut c = Config::spt_ideal(ThreatModel::Futuristic);
+            // Same memory model so LoadPublic events behave identically.
+            c.shadow = spt_core::ShadowMode::L1;
+            c
+        });
+        for ev in &events {
+            bounded.apply(ev);
+            ideal.apply(ev);
+        }
+        for _ in 0..((bounded.engine.live_slots() + 4) * 4) {
+            bounded.engine.step();
+            ideal.engine.step();
+        }
+        for p in 1..NUM_PHYS as PhysReg {
+            if bounded.engine.reg_taint(p).is_clear() {
+                prop_assert!(
+                    ideal.engine.reg_taint(p).is_clear(),
+                    "p{p} public under bounded width but tainted under ideal"
+                );
+            }
+        }
+    }
+}

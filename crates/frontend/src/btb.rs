@@ -1,0 +1,72 @@
+//! Branch target buffer.
+
+/// A direct-mapped branch target buffer mapping instruction PCs to their
+/// most recent taken target. Used to predict indirect jumps and calls.
+///
+/// # Example
+///
+/// ```
+/// use spt_frontend::Btb;
+/// let mut btb = Btb::new();
+/// assert_eq!(btb.lookup(0x40), None);
+/// btb.update(0x40, 0x99);
+/// assert_eq!(btb.lookup(0x40), Some(0x99));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Btb {
+    entries: Vec<Option<(u64, u64)>>, // (pc tag, target)
+}
+
+impl Btb {
+    const INDEX_BITS: u32 = 12; // 4096 entries
+
+    /// Creates an empty BTB.
+    pub fn new() -> Btb {
+        Btb { entries: vec![None; 1 << Self::INDEX_BITS] }
+    }
+
+    fn index(pc: u64) -> usize {
+        (pc as usize) & ((1 << Self::INDEX_BITS) - 1)
+    }
+
+    /// The predicted target for the instruction at `pc`, if one is cached.
+    pub fn lookup(&self, pc: u64) -> Option<u64> {
+        match self.entries[Self::index(pc)] {
+            Some((tag, target)) if tag == pc => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Records that the instruction at `pc` most recently went to `target`.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        self.entries[Self::index(pc)] = Some((pc, target));
+    }
+}
+
+impl Default for Btb {
+    fn default() -> Btb {
+        Btb::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflicting_pcs_evict() {
+        let mut btb = Btb::new();
+        btb.update(0x10, 0xaa);
+        btb.update(0x10 + (1 << 12), 0xbb); // same index, different tag
+        assert_eq!(btb.lookup(0x10), None);
+        assert_eq!(btb.lookup(0x10 + (1 << 12)), Some(0xbb));
+    }
+
+    #[test]
+    fn update_overwrites() {
+        let mut btb = Btb::new();
+        btb.update(0x20, 1);
+        btb.update(0x20, 2);
+        assert_eq!(btb.lookup(0x20), Some(2));
+    }
+}

@@ -1,0 +1,140 @@
+//! Global history register.
+
+/// A 256-bit global branch-history shift register.
+///
+/// Bit 0 is the most recent outcome. Provides the folded-hash views used to
+/// index and tag TAGE tables.
+///
+/// # Example
+///
+/// ```
+/// use spt_frontend::Ghr;
+/// let mut g = Ghr::new();
+/// g.push(true);
+/// g.push(false);
+/// assert!(!g.bit(0)); // most recent
+/// assert!(g.bit(1));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ghr {
+    words: [u64; Self::WORDS],
+    len: u32,
+}
+
+impl Ghr {
+    const WORDS: usize = 4;
+    /// Capacity in bits.
+    pub const BITS: u32 = 256;
+
+    /// Creates an empty (all-zero) history.
+    pub fn new() -> Ghr {
+        Ghr { words: [0; Self::WORDS], len: 0 }
+    }
+
+    /// Shifts in a new outcome as bit 0.
+    pub fn push(&mut self, taken: bool) {
+        let mut carry = taken as u64;
+        for w in &mut self.words {
+            let out = *w >> 63;
+            *w = (*w << 1) | carry;
+            carry = out;
+        }
+        self.len = (self.len + 1).min(Self::BITS);
+    }
+
+    /// The `i`-th most recent outcome (`i = 0` is the newest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 256`.
+    pub fn bit(&self, i: u32) -> bool {
+        assert!(i < Self::BITS);
+        (self.words[(i / 64) as usize] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of outcomes pushed so far, saturating at 256.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// Whether no outcomes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Folds the most recent `hist_bits` of history into `out_bits` bits by
+    /// XOR-folding, for TAGE index/tag computation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out_bits` is 0 or > 32, or `hist_bits > 256`.
+    pub fn fold(&self, hist_bits: u32, out_bits: u32) -> u32 {
+        assert!(out_bits > 0 && out_bits <= 32);
+        assert!(hist_bits <= Self::BITS);
+        let mut acc: u32 = 0;
+        let mut chunk: u32 = 0;
+        let mut chunk_len = 0;
+        for i in 0..hist_bits {
+            chunk |= (self.bit(i) as u32) << chunk_len;
+            chunk_len += 1;
+            if chunk_len == out_bits {
+                acc ^= chunk;
+                chunk = 0;
+                chunk_len = 0;
+            }
+        }
+        acc ^= chunk;
+        let mask = if out_bits == 32 { u32::MAX } else { (1u32 << out_bits) - 1 };
+        acc & mask
+    }
+}
+
+impl Default for Ghr {
+    fn default() -> Ghr {
+        Ghr::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_shifts_across_words() {
+        let mut g = Ghr::new();
+        g.push(true);
+        for _ in 0..64 {
+            g.push(false);
+        }
+        assert!(g.bit(64), "the original bit moved into the second word");
+        assert!(!g.bit(0));
+    }
+
+    #[test]
+    fn len_saturates() {
+        let mut g = Ghr::new();
+        for _ in 0..300 {
+            g.push(true);
+        }
+        assert_eq!(g.len(), 256);
+    }
+
+    #[test]
+    fn fold_depends_on_history() {
+        let mut a = Ghr::new();
+        let mut b = Ghr::new();
+        for i in 0..44 {
+            a.push(i % 3 == 0);
+            b.push(i % 5 == 0);
+        }
+        assert_ne!(a.fold(44, 10), b.fold(44, 10));
+        // Output is masked to out_bits.
+        assert!(a.fold(130, 10) < 1024);
+    }
+
+    #[test]
+    fn fold_zero_history_is_zero() {
+        let g = Ghr::new();
+        assert_eq!(g.fold(130, 10), 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Return address stack.
+
+/// A fixed-depth return address stack with wrap-around on overflow,
+/// matching real hardware behaviour (deep recursion silently corrupts the
+/// oldest entries rather than failing).
+///
+/// # Example
+///
+/// ```
+/// use spt_frontend::Ras;
+/// let mut ras = Ras::new();
+/// ras.push(0x11);
+/// ras.push(0x22);
+/// assert_eq!(ras.pop(), Some(0x22));
+/// assert_eq!(ras.pop(), Some(0x11));
+/// assert_eq!(ras.pop(), None);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ras {
+    entries: [u64; Self::DEPTH],
+    top: usize,
+    len: usize,
+}
+
+impl Ras {
+    /// Stack depth.
+    pub const DEPTH: usize = 16;
+
+    /// Creates an empty stack.
+    pub fn new() -> Ras {
+        Ras { entries: [0; Self::DEPTH], top: 0, len: 0 }
+    }
+
+    /// Pushes a return address; overwrites the oldest entry when full.
+    pub fn push(&mut self, addr: u64) {
+        self.entries[self.top] = addr;
+        self.top = (self.top + 1) % Self::DEPTH;
+        self.len = (self.len + 1).min(Self::DEPTH);
+    }
+
+    /// Pops the most recent return address.
+    pub fn pop(&mut self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        self.top = (self.top + Self::DEPTH - 1) % Self::DEPTH;
+        self.len -= 1;
+        Some(self.entries[self.top])
+    }
+
+    /// Number of valid entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the stack holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Default for Ras {
+    fn default() -> Ras {
+        Ras::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overflow_wraps_and_keeps_newest() {
+        let mut ras = Ras::new();
+        for i in 0..(Ras::DEPTH as u64 + 4) {
+            ras.push(i);
+        }
+        assert_eq!(ras.len(), Ras::DEPTH);
+        // The newest DEPTH entries pop in LIFO order.
+        for i in (4..Ras::DEPTH as u64 + 4).rev() {
+            assert_eq!(ras.pop(), Some(i));
+        }
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn lifo_order() {
+        let mut ras = Ras::new();
+        ras.push(1);
+        ras.push(2);
+        ras.push(3);
+        assert_eq!(ras.pop(), Some(3));
+        ras.push(4);
+        assert_eq!(ras.pop(), Some(4));
+        assert_eq!(ras.pop(), Some(2));
+    }
+}

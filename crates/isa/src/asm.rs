@@ -1,0 +1,397 @@
+//! A small assembler with labels and forward references.
+
+use crate::inst::{AluOp, BranchCond, Inst, MemSize};
+use crate::program::Program;
+use crate::reg::Reg;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by [`Assembler::assemble`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never defined.
+    UndefinedLabel(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// A control-flow target does not fit in the instruction encoding.
+    TargetOutOfRange { label: String, pc: u64 },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::TargetOutOfRange { label, pc } => {
+                write!(f, "target `{label}` at pc {pc} does not fit the encoding")
+            }
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+/// Pending fixup for a forward label reference.
+#[derive(Clone, Debug)]
+enum Fixup {
+    Branch(usize),
+    Jump(usize),
+    Call(usize),
+}
+
+/// Builder that assembles a [`Program`] instruction by instruction.
+///
+/// Control-flow helpers take label names; labels may be defined before or
+/// after their uses. [`Assembler::assemble`] resolves all references.
+///
+/// # Example
+///
+/// ```
+/// use spt_isa::asm::Assembler;
+/// use spt_isa::Reg;
+///
+/// // Sum 0..10 into r2.
+/// let mut a = Assembler::new();
+/// a.mov_imm(Reg::R1, 0); // i
+/// a.mov_imm(Reg::R2, 0); // sum
+/// a.mov_imm(Reg::R3, 10);
+/// a.label("loop");
+/// a.add(Reg::R2, Reg::R2, Reg::R1);
+/// a.addi(Reg::R1, Reg::R1, 1);
+/// a.blt(Reg::R1, Reg::R3, "loop");
+/// a.halt();
+/// let p = a.assemble()?;
+///
+/// let mut i = spt_isa::interp::Interp::new(&p);
+/// i.run(10_000)?;
+/// assert_eq!(i.reg(Reg::R2), 45);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Assembler {
+    insts: Vec<Inst>,
+    labels: BTreeMap<String, u32>,
+    fixups: Vec<(String, Fixup)>,
+    error: Option<AsmError>,
+}
+
+impl Assembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Assembler {
+        Assembler::default()
+    }
+
+    /// The PC the next emitted instruction will have.
+    pub fn pc(&self) -> u64 {
+        self.insts.len() as u64
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    /// Defines `name` at the current PC.
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        if self.labels.insert(name.to_string(), self.insts.len() as u32).is_some() {
+            self.error.get_or_insert(AsmError::DuplicateLabel(name.to_string()));
+        }
+        self
+    }
+
+    /// Finishes assembly, resolving all label references.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] if a referenced label is undefined, a label was
+    /// defined twice, or a target does not fit the encoding.
+    pub fn assemble(mut self) -> Result<Program, AsmError> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        for (name, fixup) in std::mem::take(&mut self.fixups) {
+            let target = *self
+                .labels
+                .get(&name)
+                .ok_or_else(|| AsmError::UndefinedLabel(name.clone()))?;
+            match fixup {
+                Fixup::Branch(i) => {
+                    if let Inst::Branch { target: t, .. } = &mut self.insts[i] {
+                        *t = target;
+                    }
+                }
+                Fixup::Jump(i) => {
+                    if let Inst::Jump { target: t } = &mut self.insts[i] {
+                        *t = target;
+                    }
+                }
+                Fixup::Call(i) => {
+                    if let Inst::Call { target: t, .. } = &mut self.insts[i] {
+                        *t = target;
+                    }
+                }
+            }
+        }
+        Ok(Program::with_labels(self.insts, self.labels))
+    }
+
+    // --- data movement ---
+
+    /// `rd = imm`.
+    pub fn mov_imm(&mut self, rd: Reg, imm: i64) -> &mut Self {
+        self.emit(Inst::MovImm { rd, imm })
+    }
+
+    /// `rd = rs`.
+    pub fn mov(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.emit(Inst::Mov { rd, rs })
+    }
+
+    // --- ALU reg-reg ---
+
+    /// `rd = op(rs1, rs2)`.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.emit(Inst::Alu { op, rd, rs1, rs2 })
+    }
+
+    /// `rd = op(rs1, imm)`.
+    pub fn alu_imm(&mut self, op: AluOp, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.emit(Inst::AluImm { op, rd, rs1, imm })
+    }
+
+    // --- memory ---
+
+    /// Load of `size` bytes: `rd = mem[base + offset]`.
+    pub fn load(&mut self, rd: Reg, base: Reg, offset: i64, size: MemSize) -> &mut Self {
+        self.emit(Inst::Load { rd, base, index: Reg::ZERO, scale: 0, offset, size })
+    }
+
+    /// Store of `size` bytes: `mem[base + offset] = src`.
+    pub fn store(&mut self, src: Reg, base: Reg, offset: i64, size: MemSize) -> &mut Self {
+        self.emit(Inst::Store { src, base, index: Reg::ZERO, scale: 0, offset, size })
+    }
+
+    /// Indexed load: `rd = mem[base + (index << scale) + offset]` (x86-style
+    /// scaled addressing; `scale` is 0–3, i.e. ×1/×2/×4/×8).
+    pub fn load_idx(
+        &mut self,
+        rd: Reg,
+        base: Reg,
+        index: Reg,
+        scale: u8,
+        offset: i64,
+        size: MemSize,
+    ) -> &mut Self {
+        self.emit(Inst::Load { rd, base, index, scale, offset, size })
+    }
+
+    /// Indexed store: `mem[base + (index << scale) + offset] = src`.
+    pub fn store_idx(
+        &mut self,
+        src: Reg,
+        base: Reg,
+        index: Reg,
+        scale: u8,
+        offset: i64,
+        size: MemSize,
+    ) -> &mut Self {
+        self.emit(Inst::Store { src, base, index, scale, offset, size })
+    }
+
+    /// Indexed 8-byte load: `rd = mem[base + index*8]`.
+    pub fn ldx8(&mut self, rd: Reg, base: Reg, index: Reg) -> &mut Self {
+        self.load_idx(rd, base, index, 3, 0, MemSize::B8)
+    }
+
+    /// Indexed 8-byte store: `mem[base + index*8] = src`.
+    pub fn stx8(&mut self, src: Reg, base: Reg, index: Reg) -> &mut Self {
+        self.store_idx(src, base, index, 3, 0, MemSize::B8)
+    }
+
+    /// Indexed byte load: `rd = mem[base + index]`.
+    pub fn ldxb(&mut self, rd: Reg, base: Reg, index: Reg) -> &mut Self {
+        self.load_idx(rd, base, index, 0, 0, MemSize::B1)
+    }
+
+    /// 8-byte load.
+    pub fn ld(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.load(rd, base, offset, MemSize::B8)
+    }
+
+    /// 8-byte store.
+    pub fn st(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.store(src, base, offset, MemSize::B8)
+    }
+
+    /// 1-byte load.
+    pub fn ldb(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.load(rd, base, offset, MemSize::B1)
+    }
+
+    /// 1-byte store.
+    pub fn stb(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.store(src, base, offset, MemSize::B1)
+    }
+
+    // --- control flow ---
+
+    /// Conditional branch to `label`.
+    pub fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.fixups.push((label.to_string(), Fixup::Branch(self.insts.len())));
+        self.emit(Inst::Branch { cond, rs1, rs2, target: 0 })
+    }
+
+    /// Unconditional jump to `label`.
+    pub fn jmp(&mut self, label: &str) -> &mut Self {
+        self.fixups.push((label.to_string(), Fixup::Jump(self.insts.len())));
+        self.emit(Inst::Jump { target: 0 })
+    }
+
+    /// Indirect jump to the instruction index in `base`.
+    pub fn jr(&mut self, base: Reg) -> &mut Self {
+        self.emit(Inst::JumpInd { base })
+    }
+
+    /// Direct call to `label`, return address in `link`.
+    pub fn call(&mut self, label: &str, link: Reg) -> &mut Self {
+        self.fixups.push((label.to_string(), Fixup::Call(self.insts.len())));
+        self.emit(Inst::Call { target: 0, link })
+    }
+
+    /// Indirect call through `base`, return address in `link`.
+    pub fn callr(&mut self, base: Reg, link: Reg) -> &mut Self {
+        self.emit(Inst::CallInd { base, link })
+    }
+
+    /// Return through `link`.
+    pub fn ret(&mut self, link: Reg) -> &mut Self {
+        self.emit(Inst::Ret { link })
+    }
+
+    /// Stops the program.
+    pub fn halt(&mut self) -> &mut Self {
+        self.emit(Inst::Halt)
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.emit(Inst::Nop)
+    }
+}
+
+macro_rules! alu_helpers {
+    ($(($rr:ident, $ri:ident, $op:ident)),* $(,)?) => {
+        impl Assembler {
+            $(
+                #[doc = concat!("`rd = ", stringify!($op), "(rs1, rs2)`.")]
+                pub fn $rr(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+                    self.alu(AluOp::$op, rd, rs1, rs2)
+                }
+
+                #[doc = concat!("`rd = ", stringify!($op), "(rs1, imm)`.")]
+                pub fn $ri(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+                    self.alu_imm(AluOp::$op, rd, rs1, imm)
+                }
+            )*
+        }
+    };
+}
+
+alu_helpers! {
+    (add, addi, Add),
+    (sub, subi, Sub),
+    (and, andi, And),
+    (or, ori, Or),
+    (xor, xori, Xor),
+    (shl, shli, Shl),
+    (shr, shri, Shr),
+    (sar, sari, Sar),
+    (mul, muli, Mul),
+    (slt, slti, Slt),
+    (sltu, sltui, Sltu),
+    (seq, seqi, Seq),
+    (sne, snei, Sne),
+    (div, divi, Div),
+    (rem, remi, Rem),
+}
+
+macro_rules! branch_helpers {
+    ($(($name:ident, $cond:ident)),* $(,)?) => {
+        impl Assembler {
+            $(
+                #[doc = concat!("Branch to `label` if the `", stringify!($cond), "` condition holds.")]
+                pub fn $name(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+                    self.branch(BranchCond::$cond, rs1, rs2, label)
+                }
+            )*
+        }
+    };
+}
+
+branch_helpers! {
+    (beq, Eq),
+    (bne, Ne),
+    (blt, Lt),
+    (bge, Ge),
+    (bltu, Ltu),
+    (bgeu, Geu),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Assembler::new();
+        a.jmp("end"); // forward reference
+        a.label("mid");
+        a.nop();
+        a.label("end");
+        a.beq(Reg::R0, Reg::R0, "mid"); // backward reference
+        a.halt();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.fetch(0), Some(Inst::Jump { target: 2 }));
+        assert_eq!(
+            p.fetch(2),
+            Some(Inst::Branch { cond: BranchCond::Eq, rs1: Reg::R0, rs2: Reg::R0, target: 1 })
+        );
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let mut a = Assembler::new();
+        a.jmp("nowhere");
+        a.halt();
+        assert_eq!(a.assemble(), Err(AsmError::UndefinedLabel("nowhere".into())));
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        let mut a = Assembler::new();
+        a.label("x");
+        a.nop();
+        a.label("x");
+        a.halt();
+        assert_eq!(a.assemble(), Err(AsmError::DuplicateLabel("x".into())));
+    }
+
+    #[test]
+    fn call_fixup() {
+        let mut a = Assembler::new();
+        a.call("fn", Reg::R31);
+        a.halt();
+        a.label("fn");
+        a.ret(Reg::R31);
+        let p = a.assemble().unwrap();
+        assert_eq!(p.fetch(0), Some(Inst::Call { target: 2, link: Reg::R31 }));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = AsmError::UndefinedLabel("foo".into());
+        assert_eq!(e.to_string(), "undefined label `foo`");
+    }
+}

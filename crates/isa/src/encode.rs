@@ -1,0 +1,433 @@
+//! Binary instruction encoding.
+//!
+//! Each instruction encodes to a single 64-bit word. The encoding is not
+//! used on the simulator's hot path (the pipeline operates on decoded
+//! [`Inst`] values), but gives programs a concrete machine representation
+//! and lets tests check that no instruction carries hidden state: decode ∘
+//! encode is the identity for every encodable instruction.
+//!
+//! Layout (bit ranges, MSB first):
+//!
+//! ```text
+//! [63:58] opcode  [57:53] rd/src  [52:48] rs1/base  [47:43] rs2/index
+//! [42:41] size    [40:37] subop   [36:35] scale     [34:0] signed imm/target
+//! ```
+
+use crate::inst::{AluOp, BranchCond, Inst, MemSize};
+use crate::reg::Reg;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by [`encode`] / [`decode`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// Immediate or offset does not fit the 37-bit signed field.
+    ImmOutOfRange(i64),
+    /// Unknown opcode while decoding.
+    BadOpcode(u8),
+    /// Invalid sub-operation field while decoding.
+    BadSubop(u8),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::ImmOutOfRange(v) => write!(f, "immediate {v} out of encodable range"),
+            CodecError::BadOpcode(op) => write!(f, "invalid opcode {op:#x}"),
+            CodecError::BadSubop(s) => write!(f, "invalid sub-operation {s:#x}"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+const IMM_BITS: u32 = 35;
+const IMM_MAX: i64 = (1 << (IMM_BITS - 1)) - 1;
+const IMM_MIN: i64 = -(1 << (IMM_BITS - 1));
+
+mod op {
+    pub const NOP: u8 = 0;
+    pub const HALT: u8 = 1;
+    pub const MOVI: u8 = 2;
+    pub const MOV: u8 = 3;
+    pub const ALU: u8 = 4;
+    pub const ALUI: u8 = 5;
+    pub const LOAD: u8 = 6;
+    pub const STORE: u8 = 7;
+    pub const BRANCH: u8 = 8;
+    pub const JUMP: u8 = 9;
+    pub const JUMPIND: u8 = 10;
+    pub const CALL: u8 = 11;
+    pub const CALLIND: u8 = 12;
+    pub const RET: u8 = 13;
+}
+
+fn alu_code(op: AluOp) -> u8 {
+    match op {
+        AluOp::Add => 0,
+        AluOp::Sub => 1,
+        AluOp::And => 2,
+        AluOp::Or => 3,
+        AluOp::Xor => 4,
+        AluOp::Shl => 5,
+        AluOp::Shr => 6,
+        AluOp::Sar => 7,
+        AluOp::Mul => 8,
+        AluOp::Slt => 9,
+        AluOp::Sltu => 10,
+        AluOp::Seq => 11,
+        AluOp::Sne => 12,
+        AluOp::Div => 13,
+        AluOp::Rem => 14,
+    }
+}
+
+fn alu_from(code: u8) -> Result<AluOp, CodecError> {
+    Ok(match code {
+        0 => AluOp::Add,
+        1 => AluOp::Sub,
+        2 => AluOp::And,
+        3 => AluOp::Or,
+        4 => AluOp::Xor,
+        5 => AluOp::Shl,
+        6 => AluOp::Shr,
+        7 => AluOp::Sar,
+        8 => AluOp::Mul,
+        9 => AluOp::Slt,
+        10 => AluOp::Sltu,
+        11 => AluOp::Seq,
+        12 => AluOp::Sne,
+        13 => AluOp::Div,
+        14 => AluOp::Rem,
+        other => return Err(CodecError::BadSubop(other)),
+    })
+}
+
+fn cond_code(c: BranchCond) -> u8 {
+    match c {
+        BranchCond::Eq => 0,
+        BranchCond::Ne => 1,
+        BranchCond::Lt => 2,
+        BranchCond::Ge => 3,
+        BranchCond::Ltu => 4,
+        BranchCond::Geu => 5,
+    }
+}
+
+fn cond_from(code: u8) -> Result<BranchCond, CodecError> {
+    Ok(match code {
+        0 => BranchCond::Eq,
+        1 => BranchCond::Ne,
+        2 => BranchCond::Lt,
+        3 => BranchCond::Ge,
+        4 => BranchCond::Ltu,
+        5 => BranchCond::Geu,
+        other => return Err(CodecError::BadSubop(other)),
+    })
+}
+
+fn size_code(s: MemSize) -> u8 {
+    match s {
+        MemSize::B1 => 0,
+        MemSize::B2 => 1,
+        MemSize::B4 => 2,
+        MemSize::B8 => 3,
+    }
+}
+
+fn size_from(code: u8) -> MemSize {
+    match code & 3 {
+        0 => MemSize::B1,
+        1 => MemSize::B2,
+        2 => MemSize::B4,
+        _ => MemSize::B8,
+    }
+}
+
+struct Fields {
+    opcode: u8,
+    rd: u8,
+    rs1: u8,
+    rs2: u8,
+    size: u8,
+    subop: u8,
+    scale: u8,
+    imm: i64,
+}
+
+impl Fields {
+    fn pack(&self) -> Result<u64, CodecError> {
+        if self.imm < IMM_MIN || self.imm > IMM_MAX {
+            return Err(CodecError::ImmOutOfRange(self.imm));
+        }
+        let imm = (self.imm as u64) & ((1u64 << IMM_BITS) - 1);
+        Ok(((self.opcode as u64) << 58)
+            | ((self.rd as u64) << 53)
+            | ((self.rs1 as u64) << 48)
+            | ((self.rs2 as u64) << 43)
+            | ((self.size as u64) << 41)
+            | ((self.subop as u64) << 37)
+            | ((self.scale as u64) << 35)
+            | imm)
+    }
+
+    fn unpack(word: u64) -> Fields {
+        let raw_imm = word & ((1u64 << IMM_BITS) - 1);
+        // Sign extend from IMM_BITS.
+        let imm = ((raw_imm << (64 - IMM_BITS)) as i64) >> (64 - IMM_BITS);
+        Fields {
+            opcode: ((word >> 58) & 0x3f) as u8,
+            rd: ((word >> 53) & 0x1f) as u8,
+            rs1: ((word >> 48) & 0x1f) as u8,
+            rs2: ((word >> 43) & 0x1f) as u8,
+            size: ((word >> 41) & 0x3) as u8,
+            subop: ((word >> 37) & 0xf) as u8,
+            scale: ((word >> 35) & 0x3) as u8,
+            imm,
+        }
+    }
+}
+
+fn zero() -> Fields {
+    Fields { opcode: 0, rd: 0, rs1: 0, rs2: 0, size: 0, subop: 0, scale: 0, imm: 0 }
+}
+
+/// Encodes an instruction to its 64-bit machine word.
+///
+/// # Errors
+///
+/// Returns [`CodecError::ImmOutOfRange`] if an immediate/offset does not fit
+/// the 37-bit signed field.
+///
+/// # Example
+///
+/// ```
+/// use spt_isa::encode::{encode, decode};
+/// use spt_isa::{Inst, Reg};
+///
+/// let i = Inst::MovImm { rd: Reg::R5, imm: -42 };
+/// assert_eq!(decode(encode(i)?)?, i);
+/// # Ok::<(), spt_isa::encode::CodecError>(())
+/// ```
+pub fn encode(inst: Inst) -> Result<u64, CodecError> {
+    let mut f = zero();
+    match inst {
+        Inst::Nop => f.opcode = op::NOP,
+        Inst::Halt => f.opcode = op::HALT,
+        Inst::MovImm { rd, imm } => {
+            f.opcode = op::MOVI;
+            f.rd = rd.index() as u8;
+            f.imm = imm;
+        }
+        Inst::Mov { rd, rs } => {
+            f.opcode = op::MOV;
+            f.rd = rd.index() as u8;
+            f.rs1 = rs.index() as u8;
+        }
+        Inst::Alu { op: o, rd, rs1, rs2 } => {
+            f.opcode = op::ALU;
+            f.rd = rd.index() as u8;
+            f.rs1 = rs1.index() as u8;
+            f.rs2 = rs2.index() as u8;
+            f.subop = alu_code(o);
+        }
+        Inst::AluImm { op: o, rd, rs1, imm } => {
+            f.opcode = op::ALUI;
+            f.rd = rd.index() as u8;
+            f.rs1 = rs1.index() as u8;
+            f.subop = alu_code(o);
+            f.imm = imm;
+        }
+        Inst::Load { rd, base, index, scale, offset, size } => {
+            f.opcode = op::LOAD;
+            f.rd = rd.index() as u8;
+            f.rs1 = base.index() as u8;
+            f.rs2 = index.index() as u8;
+            f.scale = scale & 3;
+            f.size = size_code(size);
+            f.imm = offset;
+        }
+        Inst::Store { src, base, index, scale, offset, size } => {
+            f.opcode = op::STORE;
+            f.rd = src.index() as u8;
+            f.rs1 = base.index() as u8;
+            f.rs2 = index.index() as u8;
+            f.scale = scale & 3;
+            f.size = size_code(size);
+            f.imm = offset;
+        }
+        Inst::Branch { cond, rs1, rs2, target } => {
+            f.opcode = op::BRANCH;
+            f.rs1 = rs1.index() as u8;
+            f.rs2 = rs2.index() as u8;
+            f.subop = cond_code(cond);
+            f.imm = target as i64;
+        }
+        Inst::Jump { target } => {
+            f.opcode = op::JUMP;
+            f.imm = target as i64;
+        }
+        Inst::JumpInd { base } => {
+            f.opcode = op::JUMPIND;
+            f.rs1 = base.index() as u8;
+        }
+        Inst::Call { target, link } => {
+            f.opcode = op::CALL;
+            f.rd = link.index() as u8;
+            f.imm = target as i64;
+        }
+        Inst::CallInd { base, link } => {
+            f.opcode = op::CALLIND;
+            f.rd = link.index() as u8;
+            f.rs1 = base.index() as u8;
+        }
+        Inst::Ret { link } => {
+            f.opcode = op::RET;
+            f.rs1 = link.index() as u8;
+        }
+    }
+    f.pack()
+}
+
+/// Decodes a 64-bit machine word back to an instruction.
+///
+/// # Errors
+///
+/// Returns [`CodecError::BadOpcode`] / [`CodecError::BadSubop`] for invalid
+/// encodings.
+pub fn decode(word: u64) -> Result<Inst, CodecError> {
+    let f = Fields::unpack(word);
+    let rd = Reg::from_index(f.rd as usize);
+    let rs1 = Reg::from_index(f.rs1 as usize);
+    let rs2 = Reg::from_index(f.rs2 as usize);
+    Ok(match f.opcode {
+        op::NOP => Inst::Nop,
+        op::HALT => Inst::Halt,
+        op::MOVI => Inst::MovImm { rd, imm: f.imm },
+        op::MOV => Inst::Mov { rd, rs: rs1 },
+        op::ALU => Inst::Alu { op: alu_from(f.subop)?, rd, rs1, rs2 },
+        op::ALUI => Inst::AluImm { op: alu_from(f.subop)?, rd, rs1, imm: f.imm },
+        op::LOAD => Inst::Load {
+            rd,
+            base: rs1,
+            index: rs2,
+            scale: f.scale,
+            offset: f.imm,
+            size: size_from(f.size),
+        },
+        op::STORE => Inst::Store {
+            src: rd,
+            base: rs1,
+            index: rs2,
+            scale: f.scale,
+            offset: f.imm,
+            size: size_from(f.size),
+        },
+        op::BRANCH => Inst::Branch {
+            cond: cond_from(f.subop)?,
+            rs1,
+            rs2,
+            target: f.imm as u32,
+        },
+        op::JUMP => Inst::Jump { target: f.imm as u32 },
+        op::JUMPIND => Inst::JumpInd { base: rs1 },
+        op::CALL => Inst::Call { target: f.imm as u32, link: rd },
+        op::CALLIND => Inst::CallInd { base: rs1, link: rd },
+        op::RET => Inst::Ret { link: rs1 },
+        other => return Err(CodecError::BadOpcode(other)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(i: Inst) {
+        let w = encode(i).unwrap();
+        assert_eq!(decode(w).unwrap(), i, "word {w:#018x}");
+    }
+
+    #[test]
+    fn roundtrip_each_variant() {
+        roundtrip(Inst::Nop);
+        roundtrip(Inst::Halt);
+        roundtrip(Inst::MovImm { rd: Reg::R31, imm: -1 });
+        roundtrip(Inst::Mov { rd: Reg::R1, rs: Reg::R2 });
+        for opc in [
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::And,
+            AluOp::Or,
+            AluOp::Xor,
+            AluOp::Shl,
+            AluOp::Shr,
+            AluOp::Sar,
+            AluOp::Mul,
+            AluOp::Slt,
+            AluOp::Sltu,
+            AluOp::Seq,
+            AluOp::Sne,
+            AluOp::Div,
+            AluOp::Rem,
+        ] {
+            roundtrip(Inst::Alu { op: opc, rd: Reg::R3, rs1: Reg::R4, rs2: Reg::R5 });
+            roundtrip(Inst::AluImm { op: opc, rd: Reg::R3, rs1: Reg::R4, imm: 1234 });
+        }
+        for size in [MemSize::B1, MemSize::B2, MemSize::B4, MemSize::B8] {
+            roundtrip(Inst::Load { rd: Reg::R7, base: Reg::R8, index: Reg::R0, scale: 0, offset: -64, size });
+            roundtrip(Inst::Store { src: Reg::R7, base: Reg::R8, index: Reg::R0, scale: 0, offset: 4096, size });
+            roundtrip(Inst::Load { rd: Reg::R7, base: Reg::R8, index: Reg::R9, scale: 3, offset: 16, size });
+            roundtrip(Inst::Store { src: Reg::R7, base: Reg::R8, index: Reg::R10, scale: 1, offset: -8, size });
+        }
+        for cond in [
+            BranchCond::Eq,
+            BranchCond::Ne,
+            BranchCond::Lt,
+            BranchCond::Ge,
+            BranchCond::Ltu,
+            BranchCond::Geu,
+        ] {
+            roundtrip(Inst::Branch { cond, rs1: Reg::R1, rs2: Reg::R2, target: 99 });
+        }
+        roundtrip(Inst::Jump { target: 1_000_000 });
+        roundtrip(Inst::JumpInd { base: Reg::R9 });
+        roundtrip(Inst::Call { target: 17, link: Reg::R31 });
+        roundtrip(Inst::CallInd { base: Reg::R10, link: Reg::R31 });
+        roundtrip(Inst::Ret { link: Reg::R31 });
+    }
+
+    #[test]
+    fn imm_range_enforced() {
+        let max = (1i64 << 34) - 1;
+        roundtrip(Inst::MovImm { rd: Reg::R1, imm: max });
+        roundtrip(Inst::MovImm { rd: Reg::R1, imm: -(1i64 << 34) });
+        assert_eq!(
+            encode(Inst::MovImm { rd: Reg::R1, imm: max + 1 }),
+            Err(CodecError::ImmOutOfRange(max + 1))
+        );
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        let word = 63u64 << 58;
+        assert_eq!(decode(word), Err(CodecError::BadOpcode(63)));
+    }
+
+    #[test]
+    fn bad_subop_rejected() {
+        // ALU with subop 15 is invalid.
+        let word = ((op::ALU as u64) << 58) | (15u64 << 37);
+        assert_eq!(decode(word), Err(CodecError::BadSubop(15)));
+    }
+
+    #[test]
+    fn div_rem_semantics() {
+        use crate::inst::AluOp;
+        assert_eq!(AluOp::Div.eval(100, 7), 14);
+        assert_eq!(AluOp::Rem.eval(100, 7), 2);
+        assert_eq!(AluOp::Div.eval(5, 0), u64::MAX, "RISC-V divide-by-zero");
+        assert_eq!(AluOp::Rem.eval(5, 0), 5);
+        assert!(AluOp::Div.is_variable_time());
+        assert!(AluOp::Div.variable_latency(u64::MAX, 3) > AluOp::Div.variable_latency(1, 3));
+    }
+}

@@ -1,0 +1,423 @@
+//! Reference functional interpreter.
+//!
+//! Executes a [`Program`] with simple in-order semantics. The out-of-order
+//! pipeline in `spt-ooo` must produce exactly the architectural state this
+//! interpreter produces, for every protection configuration — protections
+//! change *timing*, never *results*. Integration tests enforce this.
+//!
+//! The interpreter can also record the program's *non-speculative leak
+//! trace*: the operand values passed to transmitters (load/store addresses)
+//! and control-flow instructions. This is the ground truth for the paper's
+//! security definition (§6.2): data is secret iff it never flows into this
+//! trace.
+
+use crate::inst::Inst;
+use crate::program::Program;
+use crate::reg::Reg;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Sparse byte-addressable memory used by the interpreter.
+#[derive(Clone, Debug, Default)]
+pub struct SparseMem {
+    pages: HashMap<u64, Box<[u8; Self::PAGE]>>,
+}
+
+impl SparseMem {
+    const PAGE: usize = 4096;
+
+    /// Creates an empty memory (all bytes read as zero).
+    pub fn new() -> SparseMem {
+        SparseMem::default()
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        let (page, off) = (addr / Self::PAGE as u64, (addr % Self::PAGE as u64) as usize);
+        self.pages.get(&page).map_or(0, |p| p[off])
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let (page, off) = (addr / Self::PAGE as u64, (addr % Self::PAGE as u64) as usize);
+        self.pages.entry(page).or_insert_with(|| Box::new([0; Self::PAGE]))[off] = value;
+    }
+
+    /// Reads `size` bytes little-endian, zero-extended to 64 bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size > 8`.
+    pub fn read(&self, addr: u64, size: u64) -> u64 {
+        assert!(size <= 8);
+        let mut v = 0u64;
+        for i in 0..size {
+            v |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes the low `size` bytes of `value` little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size > 8`.
+    pub fn write(&mut self, addr: u64, value: u64, size: u64) {
+        assert!(size <= 8);
+        for i in 0..size {
+            self.write_u8(addr.wrapping_add(i), (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Copies a byte slice into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr + i as u64, b);
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
+        (0..len).map(|i| self.read_u8(addr + i as u64)).collect()
+    }
+}
+
+/// What a non-speculative leak event revealed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LeakKind {
+    /// A load executed with this address.
+    LoadAddr,
+    /// A store executed with this address.
+    StoreAddr,
+    /// A conditional branch resolved with this outcome (0/1).
+    BranchOutcome,
+    /// An indirect jump/call/return revealed this target.
+    JumpTarget,
+}
+
+/// One entry of the non-speculative leak trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LeakEvent {
+    /// PC of the leaking instruction.
+    pub pc: u64,
+    /// What kind of channel leaked.
+    pub kind: LeakKind,
+    /// The leaked value (address, outcome bit, or target).
+    pub value: u64,
+}
+
+/// Error produced by [`Interp::step`] / [`Interp::run`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InterpError {
+    /// The PC left the program text without halting.
+    PcOutOfBounds(u64),
+    /// `run` exhausted its step budget before `Halt`.
+    StepLimit(u64),
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::PcOutOfBounds(pc) => write!(f, "pc {pc} out of program bounds"),
+            InterpError::StepLimit(n) => write!(f, "program did not halt within {n} steps"),
+        }
+    }
+}
+
+impl Error for InterpError {}
+
+/// Reference interpreter state.
+///
+/// # Example
+///
+/// ```
+/// use spt_isa::asm::Assembler;
+/// use spt_isa::interp::Interp;
+/// use spt_isa::Reg;
+///
+/// let mut a = Assembler::new();
+/// a.mov_imm(Reg::R1, 0x100);
+/// a.mov_imm(Reg::R2, 99);
+/// a.st(Reg::R2, Reg::R1, 0);
+/// a.ld(Reg::R3, Reg::R1, 0);
+/// a.halt();
+/// let p = a.assemble()?;
+/// let mut i = Interp::new(&p);
+/// i.run(100)?;
+/// assert_eq!(i.reg(Reg::R3), 99);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Interp<'p> {
+    program: &'p Program,
+    regs: [u64; Reg::COUNT],
+    pc: u64,
+    halted: bool,
+    retired: u64,
+    mem: SparseMem,
+    trace: Option<Vec<LeakEvent>>,
+}
+
+impl<'p> Interp<'p> {
+    /// Creates an interpreter at PC 0 with zeroed registers and memory.
+    pub fn new(program: &'p Program) -> Interp<'p> {
+        Interp {
+            program,
+            regs: [0; Reg::COUNT],
+            pc: 0,
+            halted: false,
+            retired: 0,
+            mem: SparseMem::new(),
+            trace: None,
+        }
+    }
+
+    /// Creates an interpreter with pre-initialized memory.
+    pub fn with_memory(program: &'p Program, mem: SparseMem) -> Interp<'p> {
+        Interp { mem, ..Interp::new(program) }
+    }
+
+    /// Enables recording of the non-speculative leak trace.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// The recorded leak trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&[LeakEvent]> {
+        self.trace.as_deref()
+    }
+
+    /// Current value of `reg`.
+    pub fn reg(&self, reg: Reg) -> u64 {
+        self.regs[reg.index()]
+    }
+
+    /// Sets `reg` (writes to `r0` are ignored).
+    pub fn set_reg(&mut self, reg: Reg, value: u64) {
+        if !reg.is_zero() {
+            self.regs[reg.index()] = value;
+        }
+    }
+
+    /// Read access to memory.
+    pub fn mem(&self) -> &SparseMem {
+        &self.mem
+    }
+
+    /// Mutable access to memory (e.g. for input initialization).
+    pub fn mem_mut(&mut self) -> &mut SparseMem {
+        &mut self.mem
+    }
+
+    /// Whether the program has executed `Halt`.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Number of retired instructions.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Current PC.
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    fn leak(&mut self, pc: u64, kind: LeakKind, value: u64) {
+        if let Some(t) = &mut self.trace {
+            t.push(LeakEvent { pc, kind, value });
+        }
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterpError::PcOutOfBounds`] if the PC leaves the program.
+    pub fn step(&mut self) -> Result<(), InterpError> {
+        if self.halted {
+            return Ok(());
+        }
+        let pc = self.pc;
+        let inst = self.program.fetch(pc).ok_or(InterpError::PcOutOfBounds(pc))?;
+        let mut next = pc + 1;
+        match inst {
+            Inst::Nop => {}
+            Inst::Halt => self.halted = true,
+            Inst::MovImm { rd, imm } => self.set_reg(rd, imm as u64),
+            Inst::Mov { rd, rs } => self.set_reg(rd, self.reg(rs)),
+            Inst::Alu { op, rd, rs1, rs2 } => {
+                self.set_reg(rd, op.eval(self.reg(rs1), self.reg(rs2)))
+            }
+            Inst::AluImm { op, rd, rs1, imm } => {
+                self.set_reg(rd, op.eval(self.reg(rs1), imm as u64))
+            }
+            Inst::Load { rd, base, index, scale, offset, size } => {
+                let addr = self
+                    .reg(base)
+                    .wrapping_add(self.reg(index) << scale)
+                    .wrapping_add(offset as u64);
+                self.leak(pc, LeakKind::LoadAddr, addr);
+                let v = self.mem.read(addr, size.bytes());
+                self.set_reg(rd, v);
+            }
+            Inst::Store { src, base, index, scale, offset, size } => {
+                let addr = self
+                    .reg(base)
+                    .wrapping_add(self.reg(index) << scale)
+                    .wrapping_add(offset as u64);
+                self.leak(pc, LeakKind::StoreAddr, addr);
+                self.mem.write(addr, self.reg(src), size.bytes());
+            }
+            Inst::Branch { cond, rs1, rs2, target } => {
+                let taken = cond.eval(self.reg(rs1), self.reg(rs2));
+                self.leak(pc, LeakKind::BranchOutcome, taken as u64);
+                if taken {
+                    next = target as u64;
+                }
+            }
+            Inst::Jump { target } => next = target as u64,
+            Inst::JumpInd { base } => {
+                next = self.reg(base);
+                self.leak(pc, LeakKind::JumpTarget, next);
+            }
+            Inst::Call { target, link } => {
+                self.set_reg(link, pc + 1);
+                next = target as u64;
+            }
+            Inst::CallInd { base, link } => {
+                self.set_reg(link, pc + 1);
+                next = self.reg(base);
+                self.leak(pc, LeakKind::JumpTarget, next);
+            }
+            Inst::Ret { link } => {
+                next = self.reg(link);
+                self.leak(pc, LeakKind::JumpTarget, next);
+            }
+        }
+        self.retired += 1;
+        if !self.halted {
+            self.pc = next;
+        }
+        Ok(())
+    }
+
+    /// Runs until `Halt` or until `max_steps` instructions retire.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterpError::StepLimit`] if the budget is exhausted, or
+    /// [`InterpError::PcOutOfBounds`] if execution escapes the program.
+    pub fn run(&mut self, max_steps: u64) -> Result<(), InterpError> {
+        for _ in 0..max_steps {
+            if self.halted {
+                return Ok(());
+            }
+            self.step()?;
+        }
+        if self.halted {
+            Ok(())
+        } else {
+            Err(InterpError::StepLimit(max_steps))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+
+    #[test]
+    fn sparse_mem_roundtrip() {
+        let mut m = SparseMem::new();
+        m.write(0x12345, 0xdead_beef_cafe_f00d, 8);
+        assert_eq!(m.read(0x12345, 8), 0xdead_beef_cafe_f00d);
+        assert_eq!(m.read(0x12345, 4), 0xcafe_f00d);
+        assert_eq!(m.read(0x12345, 1), 0x0d);
+        // Cross-page write.
+        m.write(4095, 0xaabb, 2);
+        assert_eq!(m.read_u8(4095), 0xbb);
+        assert_eq!(m.read_u8(4096), 0xaa);
+    }
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let m = SparseMem::new();
+        assert_eq!(m.read(0xffff_ffff_0000, 8), 0);
+    }
+
+    #[test]
+    fn call_ret() {
+        let mut a = Assembler::new();
+        a.call("double", Reg::R31); // 0
+        a.halt(); // 1
+        a.label("double");
+        a.add(Reg::R1, Reg::R1, Reg::R1); // 2
+        a.ret(Reg::R31); // 3
+        let p = a.assemble().unwrap();
+        let mut i = Interp::new(&p);
+        i.set_reg(Reg::R1, 21);
+        i.run(100).unwrap();
+        assert_eq!(i.reg(Reg::R1), 42);
+        assert_eq!(i.retired(), 4);
+    }
+
+    #[test]
+    fn leak_trace_records_transmitters() {
+        let mut a = Assembler::new();
+        a.mov_imm(Reg::R1, 0x1000);
+        a.ld(Reg::R2, Reg::R1, 8);
+        a.st(Reg::R2, Reg::R1, 16);
+        a.beq(Reg::R2, Reg::R0, "skip");
+        a.nop();
+        a.label("skip");
+        a.halt();
+        let p = a.assemble().unwrap();
+        let mut i = Interp::new(&p);
+        i.enable_trace();
+        i.run(100).unwrap();
+        let trace = i.trace().unwrap();
+        assert_eq!(
+            trace,
+            &[
+                LeakEvent { pc: 1, kind: LeakKind::LoadAddr, value: 0x1008 },
+                LeakEvent { pc: 2, kind: LeakKind::StoreAddr, value: 0x1010 },
+                LeakEvent { pc: 3, kind: LeakKind::BranchOutcome, value: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn step_limit_error() {
+        let mut a = Assembler::new();
+        a.label("spin");
+        a.jmp("spin");
+        let p = a.assemble().unwrap();
+        let mut i = Interp::new(&p);
+        assert_eq!(i.run(10), Err(InterpError::StepLimit(10)));
+    }
+
+    #[test]
+    fn pc_out_of_bounds() {
+        let p = Program::from_insts(vec![Inst::Nop]);
+        let mut i = Interp::new(&p);
+        i.step().unwrap();
+        assert_eq!(i.step(), Err(InterpError::PcOutOfBounds(1)));
+    }
+
+    #[test]
+    fn zero_reg_is_never_written() {
+        let mut a = Assembler::new();
+        a.mov_imm(Reg::R0, 55);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let mut i = Interp::new(&p);
+        i.run(10).unwrap();
+        assert_eq!(i.reg(Reg::R0), 0);
+    }
+
+    use crate::program::Program;
+}

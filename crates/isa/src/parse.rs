@@ -1,0 +1,548 @@
+//! Textual assembly parser.
+//!
+//! Parses the syntax produced by [`Inst`]'s `Display` implementation (and a
+//! superset convenient for hand-written assembly), so programs round-trip
+//! through text: `parse_program(program.to_string())` reproduces the
+//! instruction sequence exactly.
+//!
+//! Accepted syntax, one instruction per line:
+//!
+//! ```text
+//! ; comments with ';' or '#'
+//! start:                      ; labels end with ':'
+//!   movi r1, 100
+//!   add r2, r2, r1
+//!   Addi r1, r1, -1           ; mnemonics are case-insensitive
+//!   ld8 r3, [r2+8]            ; base + offset
+//!   ld8 r3, [r2+r4<<3+16]     ; base + index*scale + offset
+//!   st1 r3, [r2-4]
+//!   bNe r1, r0, start         ; label or @<pc> targets
+//!   j @9
+//!   call fn, r31
+//!   ret r31
+//!   halt
+//! ```
+
+use crate::inst::{AluOp, BranchCond, Inst, MemSize};
+use crate::program::Program;
+use crate::reg::Reg;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by [`parse_program`], with the 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { line, message: message.into() })
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
+    let t = tok.trim();
+    let Some(rest) = t.strip_prefix('r').or_else(|| t.strip_prefix('R')) else {
+        return err(line, format!("expected register, got `{t}`"));
+    };
+    match rest.parse::<u8>().ok().and_then(Reg::new) {
+        Some(r) => Ok(r),
+        None => err(line, format!("invalid register `{t}`")),
+    }
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, ParseError> {
+    let t = tok.trim();
+    let (neg, body) = match t.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, t.strip_prefix('+').unwrap_or(t)),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    };
+    match v {
+        Ok(v) => Ok(if neg { -v } else { v }),
+        Err(_) => err(line, format!("invalid immediate `{t}`")),
+    }
+}
+
+/// Parsed memory operand: `[base (+ index<<scale) (± offset)]`.
+struct MemOperand {
+    base: Reg,
+    index: Reg,
+    scale: u8,
+    offset: i64,
+}
+
+fn parse_mem(tok: &str, line: usize) -> Result<MemOperand, ParseError> {
+    let t = tok.trim();
+    let Some(inner) = t.strip_prefix('[').and_then(|s| s.strip_suffix(']')) else {
+        return err(line, format!("expected memory operand `[...]`, got `{t}`"));
+    };
+    // Split on '+' and '-' while keeping the sign with each part.
+    let mut parts: Vec<String> = Vec::new();
+    let mut cur = String::new();
+    for (i, c) in inner.chars().enumerate() {
+        if (c == '+' || c == '-') && i > 0 && !cur.is_empty() {
+            parts.push(cur.clone());
+            cur.clear();
+            if c == '-' {
+                cur.push('-');
+            }
+        } else if c != '+' || i > 0 {
+            cur.push(c);
+        }
+    }
+    if !cur.is_empty() {
+        parts.push(cur);
+    }
+    if parts.is_empty() {
+        return err(line, "empty memory operand");
+    }
+    let base = parse_reg(&parts[0], line)?;
+    let mut index = Reg::ZERO;
+    let mut scale = 0u8;
+    let mut offset = 0i64;
+    for part in &parts[1..] {
+        let p = part.trim();
+        if p.starts_with('r') || p.starts_with('R') {
+            // Index term, optionally scaled: rN or rN<<s.
+            match p.split_once("<<") {
+                Some((r, s)) => {
+                    index = parse_reg(r, line)?;
+                    scale = match s.trim().parse::<u8>() {
+                        Ok(v) if v < 4 => v,
+                        _ => return err(line, format!("invalid scale `{s}` (0-3)")),
+                    };
+                }
+                None => {
+                    index = parse_reg(p, line)?;
+                    scale = 0;
+                }
+            }
+        } else {
+            offset = offset.wrapping_add(parse_imm(p, line)?);
+        }
+    }
+    Ok(MemOperand { base, index, scale, offset })
+}
+
+fn alu_by_name(name: &str) -> Option<AluOp> {
+    Some(match name {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "shl" => AluOp::Shl,
+        "shr" => AluOp::Shr,
+        "sar" => AluOp::Sar,
+        "mul" => AluOp::Mul,
+        "slt" => AluOp::Slt,
+        "sltu" => AluOp::Sltu,
+        "seq" => AluOp::Seq,
+        "sne" => AluOp::Sne,
+        "div" => AluOp::Div,
+        "rem" => AluOp::Rem,
+        _ => return None,
+    })
+}
+
+fn cond_by_name(name: &str) -> Option<BranchCond> {
+    Some(match name {
+        "eq" => BranchCond::Eq,
+        "ne" => BranchCond::Ne,
+        "lt" => BranchCond::Lt,
+        "ge" => BranchCond::Ge,
+        "ltu" => BranchCond::Ltu,
+        "geu" => BranchCond::Geu,
+        _ => None?,
+    })
+}
+
+fn size_by_suffix(s: &str) -> Option<MemSize> {
+    Some(match s {
+        "1" => MemSize::B1,
+        "2" => MemSize::B2,
+        "4" => MemSize::B4,
+        "8" => MemSize::B8,
+        _ => return None,
+    })
+}
+
+/// A branch/jump target: numeric (`@5`) or symbolic.
+enum Target {
+    Pc(u32),
+    Label(String),
+}
+
+fn parse_target(tok: &str, line: usize) -> Result<Target, ParseError> {
+    let t = tok.trim();
+    if let Some(pc) = t.strip_prefix('@') {
+        match pc.parse::<u32>() {
+            Ok(v) => Ok(Target::Pc(v)),
+            Err(_) => err(line, format!("invalid target `{t}`")),
+        }
+    } else if t.is_empty() {
+        err(line, "missing target")
+    } else {
+        Ok(Target::Label(t.to_string()))
+    }
+}
+
+/// Parses an assembly listing into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with the offending line for any syntax problem or
+/// undefined label.
+///
+/// # Example
+///
+/// ```
+/// use spt_isa::parse::parse_program;
+/// use spt_isa::interp::Interp;
+/// use spt_isa::Reg;
+///
+/// let p = parse_program("
+///     movi r1, 0
+///     movi r2, 5
+/// loop:
+///     addi r1, r1, 3
+///     addi r2, r2, -1
+///     bne r2, r0, loop
+///     halt
+/// ")?;
+/// let mut i = Interp::new(&p);
+/// i.run(1000)?;
+/// assert_eq!(i.reg(Reg::R1), 15);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn parse_program(text: &str) -> Result<Program, ParseError> {
+    let mut insts: Vec<Inst> = Vec::new();
+    let mut labels: BTreeMap<String, u32> = BTreeMap::new();
+    let mut fixups: Vec<(usize, usize, String)> = Vec::new(); // (inst idx, line, label)
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let mut src = raw;
+        if let Some(i) = src.find(';') {
+            src = &src[..i];
+        }
+        if let Some(i) = src.find('#') {
+            src = &src[..i];
+        }
+        let src = src.trim();
+        if src.is_empty() {
+            continue;
+        }
+        // Labels (possibly followed by an instruction on the same line).
+        let mut rest = src;
+        while let Some(colon) = rest.find(':') {
+            let (name, tail) = rest.split_at(colon);
+            let name = name.trim();
+            if name.is_empty() || name.contains(char::is_whitespace) {
+                break;
+            }
+            if labels.insert(name.to_string(), insts.len() as u32).is_some() {
+                return err(line, format!("duplicate label `{name}`"));
+            }
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+
+        let (mnemonic, args) = match rest.split_once(char::is_whitespace) {
+            Some((m, a)) => (m.to_ascii_lowercase(), a.trim()),
+            None => (rest.to_ascii_lowercase(), ""),
+        };
+        let ops: Vec<&str> = if args.is_empty() {
+            Vec::new()
+        } else {
+            args.split(',').map(str::trim).collect()
+        };
+        let need = |n: usize| -> Result<(), ParseError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                err(line, format!("`{mnemonic}` expects {n} operands, got {}", ops.len()))
+            }
+        };
+
+        let inst = match mnemonic.as_str() {
+            "nop" => {
+                need(0)?;
+                Inst::Nop
+            }
+            "halt" => {
+                need(0)?;
+                Inst::Halt
+            }
+            "movi" => {
+                need(2)?;
+                Inst::MovImm { rd: parse_reg(ops[0], line)?, imm: parse_imm(ops[1], line)? }
+            }
+            "mov" => {
+                need(2)?;
+                Inst::Mov { rd: parse_reg(ops[0], line)?, rs: parse_reg(ops[1], line)? }
+            }
+            "jr" => {
+                need(1)?;
+                Inst::JumpInd { base: parse_reg(ops[0], line)? }
+            }
+            "ret" => {
+                need(1)?;
+                Inst::Ret { link: parse_reg(ops[0], line)? }
+            }
+            "callr" => {
+                need(2)?;
+                Inst::CallInd { base: parse_reg(ops[0], line)?, link: parse_reg(ops[1], line)? }
+            }
+            "j" | "jmp" => {
+                need(1)?;
+                match parse_target(ops[0], line)? {
+                    Target::Pc(pc) => Inst::Jump { target: pc },
+                    Target::Label(l) => {
+                        fixups.push((insts.len(), line, l));
+                        Inst::Jump { target: 0 }
+                    }
+                }
+            }
+            "call" => {
+                need(2)?;
+                let link = parse_reg(ops[1], line)?;
+                match parse_target(ops[0], line)? {
+                    Target::Pc(pc) => Inst::Call { target: pc, link },
+                    Target::Label(l) => {
+                        fixups.push((insts.len(), line, l));
+                        Inst::Call { target: 0, link }
+                    }
+                }
+            }
+            m if m.starts_with("ld") => {
+                need(2)?;
+                let Some(size) = size_by_suffix(&m[2..]) else {
+                    return err(line, format!("unknown load width `{m}`"));
+                };
+                let rd = parse_reg(ops[0], line)?;
+                let mem = parse_mem(ops[1], line)?;
+                Inst::Load {
+                    rd,
+                    base: mem.base,
+                    index: mem.index,
+                    scale: mem.scale,
+                    offset: mem.offset,
+                    size,
+                }
+            }
+            m if m.starts_with("st") => {
+                need(2)?;
+                let Some(size) = size_by_suffix(&m[2..]) else {
+                    return err(line, format!("unknown store width `{m}`"));
+                };
+                let src = parse_reg(ops[0], line)?;
+                let mem = parse_mem(ops[1], line)?;
+                Inst::Store {
+                    src,
+                    base: mem.base,
+                    index: mem.index,
+                    scale: mem.scale,
+                    offset: mem.offset,
+                    size,
+                }
+            }
+            m if m.starts_with('b') && cond_by_name(&m[1..]).is_some() => {
+                need(3)?;
+                let cond = cond_by_name(&m[1..]).expect("checked");
+                let rs1 = parse_reg(ops[0], line)?;
+                let rs2 = parse_reg(ops[1], line)?;
+                match parse_target(ops[2], line)? {
+                    Target::Pc(pc) => Inst::Branch { cond, rs1, rs2, target: pc },
+                    Target::Label(l) => {
+                        fixups.push((insts.len(), line, l));
+                        Inst::Branch { cond, rs1, rs2, target: 0 }
+                    }
+                }
+            }
+            m => {
+                // ALU forms: `add r, r, r` or immediate `addi r, r, imm`.
+                let (base_name, imm_form) = match m.strip_suffix('i') {
+                    Some(b) if alu_by_name(b).is_some() => (b, true),
+                    _ => (m, false),
+                };
+                let Some(op) = alu_by_name(base_name) else {
+                    return err(line, format!("unknown mnemonic `{m}`"));
+                };
+                need(3)?;
+                let rd = parse_reg(ops[0], line)?;
+                let rs1 = parse_reg(ops[1], line)?;
+                if imm_form {
+                    Inst::AluImm { op, rd, rs1, imm: parse_imm(ops[2], line)? }
+                } else {
+                    Inst::Alu { op, rd, rs1, rs2: parse_reg(ops[2], line)? }
+                }
+            }
+        };
+        insts.push(inst);
+    }
+
+    for (idx, line, label) in fixups {
+        let Some(&pc) = labels.get(&label) else {
+            return err(line, format!("undefined label `{label}`"));
+        };
+        match &mut insts[idx] {
+            Inst::Jump { target } | Inst::Call { target, .. } | Inst::Branch { target, .. } => {
+                *target = pc;
+            }
+            _ => unreachable!("fixups only target control flow"),
+        }
+    }
+    Ok(Program::with_labels_public(insts, labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+
+    #[test]
+    fn parses_basic_program() {
+        let p = parse_program(
+            "movi r1, 10\n add r2, r2, r1\n subi r1, r1, 1\n halt",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.fetch(3), Some(Inst::Halt));
+    }
+
+    #[test]
+    fn parses_memory_operands() {
+        let p = parse_program(
+            "ld8 r1, [r2+8]\nld1 r3, [r4-4]\nld8 r5, [r6+r7<<3+16]\nst4 r8, [r9+r10<<1]\nhalt",
+        )
+        .unwrap();
+        assert_eq!(
+            p.fetch(0),
+            Some(Inst::Load {
+                rd: Reg::R1,
+                base: Reg::R2,
+                index: Reg::R0,
+                scale: 0,
+                offset: 8,
+                size: MemSize::B8
+            })
+        );
+        assert_eq!(
+            p.fetch(2),
+            Some(Inst::Load {
+                rd: Reg::R5,
+                base: Reg::R6,
+                index: Reg::R7,
+                scale: 3,
+                offset: 16,
+                size: MemSize::B8
+            })
+        );
+        assert_eq!(
+            p.fetch(3),
+            Some(Inst::Store {
+                src: Reg::R8,
+                base: Reg::R9,
+                index: Reg::R10,
+                scale: 1,
+                offset: 0,
+                size: MemSize::B4
+            })
+        );
+    }
+
+    #[test]
+    fn labels_and_branches() {
+        let p = parse_program(
+            "start: movi r1, 3\nloop:\n subi r1, r1, 1\n bne r1, r0, loop\n j end\n nop\nend: halt",
+        )
+        .unwrap();
+        assert_eq!(p.label_pc("loop"), Some(1));
+        assert_eq!(
+            p.fetch(2),
+            Some(Inst::Branch { cond: BranchCond::Ne, rs1: Reg::R1, rs2: Reg::R0, target: 1 })
+        );
+        assert_eq!(p.fetch(3), Some(Inst::Jump { target: 5 }));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_program("movi r1, 1\nbogus r2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+        let e = parse_program("j nowhere\n").unwrap_err();
+        assert!(e.message.contains("undefined label"));
+        let e = parse_program("movi r99, 1\n").unwrap_err();
+        assert!(e.message.contains("invalid register"));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        // Build a program exercising every instruction form, print it, and
+        // re-parse: the instruction sequences must match exactly.
+        let mut a = Assembler::new();
+        a.mov_imm(Reg::R1, -42);
+        a.mov(Reg::R2, Reg::R1);
+        a.add(Reg::R3, Reg::R1, Reg::R2);
+        a.xori(Reg::R4, Reg::R3, 0x5a);
+        a.sltu(Reg::R5, Reg::R4, Reg::R1);
+        a.ld(Reg::R6, Reg::R5, 16);
+        a.ldx8(Reg::R7, Reg::R6, Reg::R1);
+        a.load_idx(Reg::R8, Reg::R6, Reg::R2, 2, -8, MemSize::B2);
+        a.st(Reg::R7, Reg::R5, 0);
+        a.store_idx(Reg::R7, Reg::R5, Reg::R3, 1, 4, MemSize::B1);
+        a.label("spot");
+        a.beq(Reg::R1, Reg::R2, "spot");
+        a.jmp("spot");
+        a.jr(Reg::R9);
+        a.call("spot", Reg::R31);
+        a.callr(Reg::R9, Reg::R31);
+        a.ret(Reg::R31);
+        a.nop();
+        a.halt();
+        let original = a.assemble().unwrap();
+
+        let text = original.to_string();
+        let reparsed = parse_program(&text)
+            .unwrap_or_else(|e| panic!("could not re-parse:\n{text}\n{e}"));
+        assert_eq!(reparsed.insts(), original.insts());
+    }
+
+    #[test]
+    fn workload_sized_round_trip() {
+        // A looped kernel with mixed addressing modes round-trips.
+        let mut a = Assembler::new();
+        a.mov_imm(Reg::R1, 0x1000);
+        a.mov_imm(Reg::R2, 0);
+        a.label("loop");
+        a.ldx8(Reg::R3, Reg::R1, Reg::R2);
+        a.muli(Reg::R3, Reg::R3, 3);
+        a.stx8(Reg::R3, Reg::R1, Reg::R2);
+        a.addi(Reg::R2, Reg::R2, 1);
+        a.slti(Reg::R4, Reg::R2, 64);
+        a.bne(Reg::R4, Reg::R0, "loop");
+        a.halt();
+        let original = a.assemble().unwrap();
+        let reparsed = parse_program(&original.to_string()).unwrap();
+        assert_eq!(reparsed.insts(), original.insts());
+    }
+}

@@ -1,0 +1,121 @@
+//! Program container: a sequence of instructions plus symbol metadata.
+
+use crate::inst::Inst;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An assembled program: instructions indexed by PC (instruction index),
+/// plus the label table produced by the assembler.
+///
+/// # Example
+///
+/// ```
+/// use spt_isa::asm::Assembler;
+/// use spt_isa::Reg;
+///
+/// let mut a = Assembler::new();
+/// a.label("start");
+/// a.mov_imm(Reg::R1, 1);
+/// a.halt();
+/// let p = a.assemble().unwrap();
+/// assert_eq!(p.len(), 2);
+/// assert_eq!(p.label_pc("start"), Some(0));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Program {
+    insts: Vec<Inst>,
+    labels: BTreeMap<String, u32>,
+}
+
+impl Program {
+    /// Creates a program from raw instructions with no labels.
+    pub fn from_insts(insts: Vec<Inst>) -> Program {
+        Program { insts, labels: BTreeMap::new() }
+    }
+
+    /// Creates a program from instructions and a label table.
+    ///
+    /// Used by the assembler; labels must point inside the program.
+    pub(crate) fn with_labels(insts: Vec<Inst>, labels: BTreeMap<String, u32>) -> Program {
+        Program { insts, labels }
+    }
+
+    /// Creates a program from instructions and an explicit label table
+    /// (used by the textual parser).
+    pub fn with_labels_public(insts: Vec<Inst>, labels: BTreeMap<String, u32>) -> Program {
+        Program { insts, labels }
+    }
+
+    /// The instruction at `pc`, or `None` past the end.
+    pub fn fetch(&self, pc: u64) -> Option<Inst> {
+        self.insts.get(pc as usize).copied()
+    }
+
+    /// All instructions in program order.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// PC of a label defined during assembly.
+    pub fn label_pc(&self, name: &str) -> Option<u64> {
+        self.labels.get(name).map(|&pc| pc as u64)
+    }
+
+    /// Iterates over `(name, pc)` label pairs in name order.
+    pub fn labels(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.labels.iter().map(|(n, &pc)| (n.as_str(), pc as u64))
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let by_pc: BTreeMap<u32, &str> =
+            self.labels.iter().map(|(n, &pc)| (pc, n.as_str())).collect();
+        for (pc, inst) in self.insts.iter().enumerate() {
+            if let Some(name) = by_pc.get(&(pc as u32)) {
+                writeln!(f, "{name}:")?;
+            }
+            writeln!(f, "  {pc:4}: {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Inst;
+    use crate::reg::Reg;
+
+    #[test]
+    fn fetch_bounds() {
+        let p = Program::from_insts(vec![Inst::Nop, Inst::Halt]);
+        assert_eq!(p.fetch(0), Some(Inst::Nop));
+        assert_eq!(p.fetch(1), Some(Inst::Halt));
+        assert_eq!(p.fetch(2), None);
+        assert_eq!(p.fetch(u64::MAX), None);
+    }
+
+    #[test]
+    fn display_contains_labels() {
+        let mut labels = BTreeMap::new();
+        labels.insert("loop".to_string(), 1u32);
+        let p = Program::with_labels(
+            vec![Inst::MovImm { rd: Reg::R1, imm: 0 }, Inst::Halt],
+            labels,
+        );
+        let s = p.to_string();
+        assert!(s.contains("loop:"));
+        assert!(s.contains("halt"));
+    }
+}

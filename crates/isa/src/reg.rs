@@ -1,0 +1,132 @@
+//! Architectural register names.
+
+use std::fmt;
+
+/// An architectural register, `r0`–`r31`.
+///
+/// `r0` is hardwired to zero: writes are discarded and reads return `0`,
+/// like RISC-V's `x0`. The remaining 31 registers are general purpose.
+///
+/// # Example
+///
+/// ```
+/// use spt_isa::Reg;
+/// let r = Reg::new(3).unwrap();
+/// assert_eq!(r, Reg::R3);
+/// assert_eq!(r.index(), 3);
+/// assert!(Reg::new(32).is_none());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Number of architectural registers.
+    pub const COUNT: usize = 32;
+
+    /// The hardwired zero register.
+    pub const ZERO: Reg = Reg(0);
+
+    /// Creates a register from its index, returning `None` if `index >= 32`.
+    pub fn new(index: u8) -> Option<Reg> {
+        if (index as usize) < Self::COUNT {
+            Some(Reg(index))
+        } else {
+            None
+        }
+    }
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub fn from_index(index: usize) -> Reg {
+        assert!(index < Self::COUNT, "register index {index} out of range");
+        Reg(index as u8)
+    }
+
+    /// The register's index, `0..32`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hardwired zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over all 32 architectural registers.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..Self::COUNT as u8).map(Reg)
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+macro_rules! named_regs {
+    ($($name:ident = $idx:expr),* $(,)?) => {
+        impl Reg {
+            $(
+                #[doc = concat!("Register r", stringify!($idx), ".")]
+                pub const $name: Reg = Reg($idx);
+            )*
+        }
+    };
+}
+
+named_regs! {
+    R0 = 0, R1 = 1, R2 = 2, R3 = 3, R4 = 4, R5 = 5, R6 = 6, R7 = 7,
+    R8 = 8, R9 = 9, R10 = 10, R11 = 11, R12 = 12, R13 = 13, R14 = 14, R15 = 15,
+    R16 = 16, R17 = 17, R18 = 18, R19 = 19, R20 = 20, R21 = 21, R22 = 22, R23 = 23,
+    R24 = 24, R25 = 25, R26 = 26, R27 = 27, R28 = 28, R29 = 29, R30 = 30, R31 = 31,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_out_of_range() {
+        assert!(Reg::new(31).is_some());
+        assert!(Reg::new(32).is_none());
+        assert!(Reg::new(255).is_none());
+    }
+
+    #[test]
+    fn zero_register() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::R1.is_zero());
+        assert_eq!(Reg::ZERO, Reg::R0);
+    }
+
+    #[test]
+    fn all_yields_32_distinct() {
+        let regs: Vec<Reg> = Reg::all().collect();
+        assert_eq!(regs.len(), 32);
+        for (i, r) in regs.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Reg::R17.to_string(), "r17");
+        assert_eq!(format!("{:?}", Reg::R3), "r3");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_index_panics() {
+        let _ = Reg::from_index(32);
+    }
+}

@@ -1,0 +1,421 @@
+//! A single set-associative, write-back, write-allocate cache with LRU
+//! replacement and a bounded MSHR file.
+
+use std::fmt;
+
+/// Geometric parameters of a cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+    /// Line size in bytes (must be a power of two).
+    pub line_bytes: usize,
+}
+
+impl CacheGeometry {
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are inconsistent (capacity not divisible by
+    /// `assoc * line_bytes`, or line size not a power of two).
+    pub fn sets(&self) -> usize {
+        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        let per_way = self.size_bytes / self.assoc;
+        assert!(
+            per_way % self.line_bytes == 0 && per_way > 0,
+            "inconsistent cache geometry {self:?}"
+        );
+        per_way / self.line_bytes
+    }
+
+    /// The line-aligned address containing `addr`.
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr & !(self.line_bytes as u64 - 1)
+    }
+
+    fn set_index(&self, addr: u64) -> usize {
+        ((addr / self.line_bytes as u64) as usize) & (self.sets() - 1)
+    }
+
+    fn tag(&self, addr: u64) -> u64 {
+        addr / self.line_bytes as u64 / self.sets() as u64
+    }
+}
+
+/// Full configuration of a cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Geometry (capacity, associativity, line size).
+    pub geometry: CacheGeometry,
+    /// Latency of a hit, in cycles.
+    pub hit_latency: u64,
+    /// Number of miss-status-holding registers (outstanding misses).
+    pub mshrs: usize,
+}
+
+/// Counters accumulated by a cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Lines evicted to make room for fills.
+    pub evictions: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+    /// Accesses rejected because all MSHRs were busy.
+    pub mshr_rejections: u64,
+}
+
+impl CacheStats {
+    /// Miss rate over all accesses, or 0 if there were none.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// A line-granularity state-change event, reported so that SPT's shadow L1
+/// (paper §7.5) can mirror fill/evict decisions without owning tags.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LineEvent {
+    /// A line was filled (allocated); its shadow taint must be set to
+    /// all-tainted (paper §7.5: "when an L1D line is filled, it is
+    /// considered tainted").
+    Fill {
+        /// Line-aligned address of the filled line.
+        line_addr: u64,
+    },
+    /// A line was evicted or invalidated.
+    Evict {
+        /// Line-aligned address of the evicted line.
+        line_addr: u64,
+    },
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+    lru: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Mshr {
+    line_addr: u64,
+    ready_at: u64,
+}
+
+/// The result of a tag lookup with fill-on-miss.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// For a miss that coalesced onto an in-flight MSHR for the same line,
+    /// the cycle at which that miss completes.
+    pub coalesced_ready_at: Option<u64>,
+    /// L1-relevant line events (fills/evictions) caused by this access.
+    pub events: Vec<LineEvent>,
+}
+
+/// One level of the cache hierarchy.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    mshrs: Vec<Mshr>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache.
+    pub fn new(cfg: CacheConfig) -> Cache {
+        let sets = cfg.geometry.sets();
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            cfg,
+            sets: vec![vec![Line::default(); cfg.geometry.assoc]; sets],
+            mshrs: Vec::with_capacity(cfg.mshrs),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// This cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Hit latency in cycles.
+    pub fn hit_latency(&self) -> u64 {
+        self.cfg.hit_latency
+    }
+
+    /// Checks whether a line is present *without* disturbing LRU state or
+    /// statistics. This is the attacker's observation primitive and is also
+    /// used by tests.
+    pub fn probe(&self, addr: u64) -> bool {
+        let set = &self.sets[self.cfg.geometry.set_index(addr)];
+        let tag = self.cfg.geometry.tag(addr);
+        set.iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Returns `true` if a free MSHR is available at `now` (expired entries
+    /// are recycled), or if the line at `addr` can coalesce onto an
+    /// outstanding miss.
+    pub fn mshr_available(&mut self, addr: u64, now: u64) -> bool {
+        self.expire_mshrs(now);
+        let line = self.cfg.geometry.line_addr(addr);
+        self.mshrs.len() < self.cfg.mshrs || self.mshrs.iter().any(|m| m.line_addr == line)
+    }
+
+    /// The earliest cycle at which an MSHR will free up.
+    pub fn earliest_mshr_free(&self) -> Option<u64> {
+        self.mshrs.iter().map(|m| m.ready_at).min()
+    }
+
+    fn expire_mshrs(&mut self, now: u64) {
+        self.mshrs.retain(|m| m.ready_at > now);
+    }
+
+    /// Records an outstanding miss completing at `ready_at`.
+    ///
+    /// Returns `false` (and counts an MSHR rejection) if no MSHR is free;
+    /// returns `true` without allocating if the line already has one.
+    pub fn allocate_mshr(&mut self, addr: u64, now: u64, ready_at: u64) -> bool {
+        self.expire_mshrs(now);
+        let line = self.cfg.geometry.line_addr(addr);
+        if self.mshrs.iter().any(|m| m.line_addr == line) {
+            return true;
+        }
+        if self.mshrs.len() >= self.cfg.mshrs {
+            self.stats.mshr_rejections += 1;
+            return false;
+        }
+        self.mshrs.push(Mshr { line_addr: line, ready_at });
+        true
+    }
+
+    /// The completion cycle of an outstanding miss on `addr`'s line, if any.
+    pub fn outstanding_miss(&self, addr: u64) -> Option<u64> {
+        let line = self.cfg.geometry.line_addr(addr);
+        self.mshrs.iter().find(|m| m.line_addr == line).map(|m| m.ready_at)
+    }
+
+    /// Performs a tag lookup; on hit, updates LRU (and dirtiness for
+    /// writes). Does *not* fill on miss — the hierarchy decides that.
+    pub fn lookup(&mut self, addr: u64, write: bool) -> bool {
+        self.tick += 1;
+        let tag = self.cfg.geometry.tag(addr);
+        let set_idx = self.cfg.geometry.set_index(addr);
+        let tick = self.tick;
+        let set = &mut self.sets[set_idx];
+        for line in set.iter_mut() {
+            if line.valid && line.tag == tag {
+                line.lru = tick;
+                if write {
+                    line.dirty = true;
+                }
+                self.stats.hits += 1;
+                return true;
+            }
+        }
+        self.stats.misses += 1;
+        false
+    }
+
+    /// Allocates a line for `addr` (after a miss), evicting the LRU way if
+    /// needed. Returns the events (eviction, then fill).
+    pub fn fill(&mut self, addr: u64, write: bool) -> Vec<LineEvent> {
+        self.tick += 1;
+        let tag = self.cfg.geometry.tag(addr);
+        let set_idx = self.cfg.geometry.set_index(addr);
+        let line_addr = self.cfg.geometry.line_addr(addr);
+        let sets = self.sets.len() as u64;
+        let line_bytes = self.cfg.geometry.line_bytes as u64;
+        let tick = self.tick;
+
+        let mut events = Vec::new();
+        let set = &mut self.sets[set_idx];
+        // Prefer an invalid way; otherwise evict LRU.
+        let victim = set
+            .iter()
+            .position(|l| !l.valid)
+            .unwrap_or_else(|| {
+                set.iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.lru)
+                    .map(|(i, _)| i)
+                    .expect("cache set cannot be empty")
+            });
+        let v = &mut set[victim];
+        if v.valid {
+            let victim_addr = (v.tag * sets + set_idx as u64) * line_bytes;
+            events.push(LineEvent::Evict { line_addr: victim_addr });
+            self.stats.evictions += 1;
+            if v.dirty {
+                self.stats.writebacks += 1;
+            }
+        }
+        *v = Line { valid: true, dirty: write, tag, lru: tick };
+        events.push(LineEvent::Fill { line_addr });
+        events
+    }
+
+    /// Invalidates the line containing `addr` if present, returning the
+    /// eviction event.
+    pub fn invalidate(&mut self, addr: u64) -> Option<LineEvent> {
+        let tag = self.cfg.geometry.tag(addr);
+        let set_idx = self.cfg.geometry.set_index(addr);
+        let line_addr = self.cfg.geometry.line_addr(addr);
+        for line in &mut self.sets[set_idx] {
+            if line.valid && line.tag == tag {
+                line.valid = false;
+                line.dirty = false;
+                return Some(LineEvent::Evict { line_addr });
+            }
+        }
+        None
+    }
+
+    /// Invalidates every line (used between penetration-test phases).
+    pub fn flush(&mut self) -> Vec<LineEvent> {
+        let mut events = Vec::new();
+        let sets = self.sets.len() as u64;
+        let line_bytes = self.cfg.geometry.line_bytes as u64;
+        for (set_idx, set) in self.sets.iter_mut().enumerate() {
+            for line in set.iter_mut() {
+                if line.valid {
+                    let addr = (line.tag * sets + set_idx as u64) * line_bytes;
+                    events.push(LineEvent::Evict { line_addr: addr });
+                    line.valid = false;
+                    line.dirty = false;
+                }
+            }
+        }
+        events
+    }
+}
+
+impl fmt::Display for Cache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}B {}-way {}B-line cache: {} hits, {} misses ({:.1}% miss)",
+            self.cfg.geometry.size_bytes,
+            self.cfg.geometry.assoc,
+            self.cfg.geometry.line_bytes,
+            self.stats.hits,
+            self.stats.misses,
+            self.stats.miss_rate() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache() -> Cache {
+        // 4 sets x 2 ways x 64B lines = 512B.
+        Cache::new(CacheConfig {
+            geometry: CacheGeometry { size_bytes: 512, assoc: 2, line_bytes: 64 },
+            hit_latency: 2,
+            mshrs: 2,
+        })
+    }
+
+    #[test]
+    fn geometry_math() {
+        let g = CacheGeometry { size_bytes: 32 * 1024, assoc: 8, line_bytes: 64 };
+        assert_eq!(g.sets(), 64);
+        assert_eq!(g.line_addr(0x12345), 0x12340);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small_cache();
+        assert!(!c.lookup(0x1000, false));
+        c.fill(0x1000, false);
+        assert!(c.lookup(0x1000, false));
+        assert!(c.lookup(0x1038, false), "same line");
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn probe_does_not_disturb_state() {
+        let mut c = small_cache();
+        c.fill(0x1000, false);
+        let before = *c.stats();
+        assert!(c.probe(0x1000));
+        assert!(!c.probe(0x2000));
+        assert_eq!(*c.stats(), before);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = small_cache();
+        // Set index = (addr/64) & 3. Addresses with the same set: step 256.
+        c.fill(0x0, false); // set 0
+        c.fill(0x100, false); // set 0
+        c.lookup(0x0, false); // touch first line: now 0x100 is LRU
+        let events = c.fill(0x200, false);
+        assert!(events.contains(&LineEvent::Evict { line_addr: 0x100 }));
+        assert!(c.probe(0x0));
+        assert!(!c.probe(0x100));
+        assert!(c.probe(0x200));
+    }
+
+    #[test]
+    fn dirty_writeback_counted() {
+        let mut c = small_cache();
+        c.fill(0x0, true); // dirty fill
+        c.fill(0x100, false);
+        c.fill(0x200, false); // evicts 0x0 (LRU), which is dirty
+        assert_eq!(c.stats().writebacks, 1);
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn mshr_limits_and_coalescing() {
+        let mut c = small_cache(); // 2 MSHRs
+        assert!(c.allocate_mshr(0x1000, 0, 100));
+        assert!(c.allocate_mshr(0x2000, 0, 120));
+        // Same line as the first: coalesces, no new MSHR.
+        assert!(c.allocate_mshr(0x1020, 0, 999));
+        assert_eq!(c.outstanding_miss(0x1008), Some(100));
+        // A third distinct line is rejected.
+        assert!(!c.allocate_mshr(0x3000, 0, 130));
+        assert_eq!(c.stats().mshr_rejections, 1);
+        // After the first completes, space frees up.
+        assert!(c.allocate_mshr(0x3000, 101, 130));
+    }
+
+    #[test]
+    fn invalidate_and_flush() {
+        let mut c = small_cache();
+        c.fill(0x0, false);
+        c.fill(0x40, false);
+        assert_eq!(c.invalidate(0x0), Some(LineEvent::Evict { line_addr: 0x0 }));
+        assert_eq!(c.invalidate(0x0), None);
+        let evs = c.flush();
+        assert_eq!(evs, vec![LineEvent::Evict { line_addr: 0x40 }]);
+        assert!(!c.probe(0x40));
+    }
+}

@@ -1,0 +1,26 @@
+//! Memory hierarchy for the SPT reproduction.
+//!
+//! Models the machine of paper Table 1: a 3-level write-back cache
+//! hierarchy (L1D 32 KiB/8-way/2-cycle, L2 256 KiB/16-way/20-cycle, L3
+//! 2 MiB/16-way/40-cycle) in front of a fixed-latency DRAM, with a bounded
+//! number of MSHRs per cache.
+//!
+//! Data is kept *functionally* in a single sparse backing store
+//! ([`spt_isa::interp::SparseMem`]); the caches track only tags, validity,
+//! dirtiness and recency, and are consulted to compute access *timing*.
+//! This functional/timing split is exact for a single core (there is no
+//! other agent that could observe stale data) and keeps the simulator fast.
+//!
+//! The cache *state* is nevertheless fully architectural from the attacker's
+//! perspective: [`MemSystem::probe`] reports which level currently holds a
+//! line, which is exactly the observation a cache-timing receiver makes.
+//! The penetration tests (paper §9.1) use it as their covert-channel
+//! receiver.
+
+pub mod cache;
+pub mod system;
+pub mod tlb;
+
+pub use cache::{Cache, CacheConfig, CacheGeometry, CacheStats, LineEvent};
+pub use system::{AccessOutcome, Busy, HierarchyConfig, Level, MemSystem};
+pub use tlb::Tlb;

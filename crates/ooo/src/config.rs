@@ -1,0 +1,81 @@
+//! Core (pipeline) configuration — paper Table 1.
+
+/// Out-of-order core parameters. Defaults reproduce paper Table 1: 8-wide
+/// fetch/issue/commit, 192-entry ROB, 32/32 LQ/SQ.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Instructions fetched per cycle.
+    pub fetch_width: usize,
+    /// Instructions renamed/dispatched per cycle.
+    pub rename_width: usize,
+    /// Instructions issued to execution per cycle.
+    pub issue_width: usize,
+    /// Instructions retired per cycle.
+    pub retire_width: usize,
+    /// Memory operations (loads/stores) issued per cycle (L1D ports).
+    pub mem_ports: usize,
+    /// Reorder buffer capacity.
+    pub rob_size: usize,
+    /// Unified reservation-station capacity (instructions waiting to issue).
+    pub rs_size: usize,
+    /// Load-queue capacity.
+    pub lq_size: usize,
+    /// Store-queue capacity.
+    pub sq_size: usize,
+    /// Physical register file size.
+    pub num_phys: usize,
+    /// Fetch-queue capacity (fetched but not yet renamed).
+    pub fetch_queue: usize,
+}
+
+impl Default for CoreConfig {
+    fn default() -> CoreConfig {
+        CoreConfig {
+            fetch_width: 8,
+            rename_width: 8,
+            issue_width: 8,
+            retire_width: 8,
+            mem_ports: 2,
+            rob_size: 192,
+            rs_size: 64,
+            lq_size: 32,
+            sq_size: 32,
+            num_phys: 320,
+            fetch_queue: 16,
+        }
+    }
+}
+
+impl CoreConfig {
+    /// A scaled-down core for fast unit tests.
+    pub fn tiny() -> CoreConfig {
+        CoreConfig {
+            fetch_width: 2,
+            rename_width: 2,
+            issue_width: 2,
+            retire_width: 2,
+            mem_ports: 1,
+            rob_size: 16,
+            rs_size: 8,
+            lq_size: 4,
+            sq_size: 4,
+            num_phys: 64,
+            fetch_queue: 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_1() {
+        let c = CoreConfig::default();
+        assert_eq!(c.fetch_width, 8);
+        assert_eq!(c.rob_size, 192);
+        assert_eq!(c.lq_size, 32);
+        assert_eq!(c.sq_size, 32);
+        assert!(c.num_phys > c.rob_size + 32, "enough physical registers for a full ROB");
+    }
+}

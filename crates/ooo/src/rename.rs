@@ -1,0 +1,188 @@
+//! Register renaming: RAT, physical register file and free list.
+
+use spt_core::PhysReg;
+use spt_isa::Reg;
+
+/// Register alias table + physical register file + free list.
+///
+/// Architectural register `r0` is pinned to physical register 0, which
+/// always reads zero and is never reallocated.
+///
+/// # Example
+///
+/// ```
+/// use spt_ooo::rename::RegisterFile;
+/// use spt_isa::Reg;
+///
+/// let mut rf = RegisterFile::new(64);
+/// let (new, old) = rf.allocate(Reg::R1).unwrap();
+/// assert_ne!(new, old);
+/// rf.write(new, 42);
+/// assert_eq!(rf.read(rf.lookup(Reg::R1)), 42);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RegisterFile {
+    rat: [PhysReg; Reg::COUNT],
+    free: Vec<PhysReg>,
+    val: Vec<u64>,
+    ready: Vec<bool>,
+}
+
+impl RegisterFile {
+    /// Creates a register file with `num_phys` physical registers; the
+    /// first 32 are the initial architectural mappings (all ready, zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_phys < 64` (not enough headroom to rename).
+    pub fn new(num_phys: usize) -> RegisterFile {
+        assert!(num_phys >= 64, "need headroom beyond the 32 architectural registers");
+        let mut rat = [0 as PhysReg; Reg::COUNT];
+        for (i, slot) in rat.iter_mut().enumerate() {
+            *slot = i as PhysReg;
+        }
+        RegisterFile {
+            rat,
+            free: (Reg::COUNT as PhysReg..num_phys as PhysReg).rev().collect(),
+            val: vec![0; num_phys],
+            ready: vec![true; num_phys],
+        }
+    }
+
+    /// Total physical registers.
+    pub fn num_phys(&self) -> usize {
+        self.val.len()
+    }
+
+    /// Free physical registers remaining.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Current physical mapping of an architectural register.
+    pub fn lookup(&self, reg: Reg) -> PhysReg {
+        self.rat[reg.index()]
+    }
+
+    /// Allocates a fresh physical register for a write to `reg`, returning
+    /// `(new, old)` mappings, or `None` if the free list is empty.
+    /// Allocation for `r0` is rejected (writes to `r0` are discarded).
+    pub fn allocate(&mut self, reg: Reg) -> Option<(PhysReg, PhysReg)> {
+        if reg.is_zero() {
+            return None;
+        }
+        let new = self.free.pop()?;
+        let old = self.rat[reg.index()];
+        self.rat[reg.index()] = new;
+        self.ready[new as usize] = false;
+        self.val[new as usize] = 0;
+        Some((new, old))
+    }
+
+    /// Returns a no-longer-referenced physical register to the free list
+    /// (at retire: the *old* mapping; at squash: the *new* mapping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phys` is the pinned zero register.
+    pub fn release(&mut self, phys: PhysReg) {
+        assert_ne!(phys, 0, "the zero register is never freed");
+        self.ready[phys as usize] = true;
+        self.free.push(phys);
+    }
+
+    /// Rolls back a squashed allocation: restores `reg → old` and frees the
+    /// squashed instruction's destination. Must be applied youngest-first.
+    pub fn rollback(&mut self, reg: Reg, new: PhysReg, old: PhysReg) {
+        debug_assert_eq!(self.rat[reg.index()], new);
+        self.rat[reg.index()] = old;
+        self.release(new);
+    }
+
+    /// Value of a physical register.
+    pub fn read(&self, phys: PhysReg) -> u64 {
+        self.val[phys as usize]
+    }
+
+    /// Writes a physical register and marks it ready.
+    pub fn write(&mut self, phys: PhysReg, value: u64) {
+        if phys != 0 {
+            self.val[phys as usize] = value;
+        }
+        self.ready[phys as usize] = true;
+    }
+
+    /// Whether a physical register holds its final value.
+    pub fn is_ready(&self, phys: PhysReg) -> bool {
+        self.ready[phys as usize]
+    }
+
+    /// Architectural read (through the RAT) — valid when the pipeline is
+    /// drained, used for test inspection and machine setup.
+    pub fn arch_read(&self, reg: Reg) -> u64 {
+        self.read(self.lookup(reg))
+    }
+
+    /// Architectural write (through the RAT) — for machine setup only.
+    pub fn arch_write(&mut self, reg: Reg, value: u64) {
+        let p = self.lookup(reg);
+        self.write(p, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register_is_pinned() {
+        let mut rf = RegisterFile::new(64);
+        assert_eq!(rf.lookup(Reg::R0), 0);
+        assert!(rf.allocate(Reg::R0).is_none());
+        rf.write(0, 99);
+        assert_eq!(rf.read(0), 0, "writes to phys 0 are discarded");
+    }
+
+    #[test]
+    fn allocate_write_read_cycle() {
+        let mut rf = RegisterFile::new(64);
+        let (new, old) = rf.allocate(Reg::R5).unwrap();
+        assert_eq!(old, 5, "initial mapping is identity");
+        assert!(!rf.is_ready(new));
+        rf.write(new, 7);
+        assert!(rf.is_ready(new));
+        assert_eq!(rf.arch_read(Reg::R5), 7);
+    }
+
+    #[test]
+    fn rollback_restores_mapping() {
+        let mut rf = RegisterFile::new(64);
+        let before = rf.lookup(Reg::R3);
+        let (new, old) = rf.allocate(Reg::R3).unwrap();
+        let frees = rf.free_count();
+        rf.rollback(Reg::R3, new, old);
+        assert_eq!(rf.lookup(Reg::R3), before);
+        assert_eq!(rf.free_count(), frees + 1);
+    }
+
+    #[test]
+    fn nested_rollback_youngest_first() {
+        let mut rf = RegisterFile::new(64);
+        let (n1, o1) = rf.allocate(Reg::R2).unwrap();
+        let (n2, o2) = rf.allocate(Reg::R2).unwrap();
+        assert_eq!(o2, n1);
+        rf.rollback(Reg::R2, n2, o2);
+        rf.rollback(Reg::R2, n1, o1);
+        assert_eq!(rf.lookup(Reg::R2), 2);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut rf = RegisterFile::new(64);
+        let mut n = 0;
+        while rf.allocate(Reg::R1).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 32, "64 phys - 32 architectural = 32 allocations");
+    }
+}

@@ -1,0 +1,172 @@
+//! Reorder buffer entry types.
+
+use spt_core::{PhysReg, Seq, StlCondition};
+use spt_frontend::{Checkpoint, PredictInfo};
+use spt_isa::{Inst, Reg};
+
+/// Execution status of an in-flight instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecState {
+    /// Waiting in the reservation station for operands / protection.
+    Waiting,
+    /// Issued to an execution unit; completes at `done_at`.
+    Issued,
+    /// Result produced and written back.
+    Done,
+}
+
+/// Memory-side state for load/store entries.
+#[derive(Clone, Debug, Default)]
+pub struct MemState {
+    /// Effective address, once computed.
+    pub addr: Option<u64>,
+    /// Access width in bytes.
+    pub bytes: u64,
+    /// Loads: value read (from cache or forwarding). Stores: value to write.
+    pub value: u64,
+    /// Loads: the store that forwarded the data, if any.
+    pub fwd_from: Option<Seq>,
+    /// Loads: the `STLPublic` condition for the forwarding pair (§6.7).
+    pub stl: Option<StlCondition>,
+    /// Stores: the oldest younger load that executed with stale data; the
+    /// squash is deferred until the implicit branch is public (§6.7).
+    pub pending_violation: Option<Seq>,
+    /// Loads: the access has touched the cache (state change happened).
+    pub accessed: bool,
+    /// Loads: the post-hoc shadow clear (§6.8 rule ②) already ran.
+    pub range_cleared: bool,
+    /// Loads: executed obliviously (SDO policy): fixed latency, no cache
+    /// state change, no shadow interaction.
+    pub oblivious: bool,
+}
+
+/// One reorder buffer entry.
+#[derive(Clone, Debug)]
+pub struct RobEntry {
+    /// Global sequence number (monotonic, never reused).
+    pub seq: Seq,
+    /// PC of the instruction.
+    pub pc: u64,
+    /// The instruction.
+    pub inst: Inst,
+    /// Source physical registers, in `Inst::sources` order.
+    pub srcs: [Option<PhysReg>; 3],
+    /// Destination: `(arch, new phys, old phys)`.
+    pub dest: Option<(Reg, PhysReg, PhysReg)>,
+    /// Execution status.
+    pub state: ExecState,
+    /// Completion cycle when `Issued`.
+    pub done_at: u64,
+    /// Computed result (for register-writing instructions).
+    pub result: u64,
+    /// Whether the instruction still occupies a reservation-station slot.
+    pub in_rs: bool,
+    /// Frontend state snapshot taken before this instruction was predicted.
+    pub checkpoint: Checkpoint,
+    /// Predicted next PC (what fetch followed).
+    pub pred_next: u64,
+    /// Predicted direction for conditional branches.
+    pub pred_taken: bool,
+    /// TAGE bookkeeping for training at retire.
+    pub pred_info: Option<PredictInfo>,
+    /// Actual next PC, once executed (control flow).
+    pub actual_next: Option<u64>,
+    /// Actual direction for conditional branches.
+    pub actual_taken: bool,
+    /// Control-flow resolution effects have been applied (redirect/confirm).
+    /// Non-control-flow instructions are resolved from the start.
+    pub resolved: bool,
+    /// Reached the visibility point under the configured threat model.
+    pub vp: bool,
+    /// VP declassification has been performed for this entry.
+    pub declassified: bool,
+    /// Load/store state.
+    pub mem: MemState,
+}
+
+impl RobEntry {
+    /// Creates a freshly renamed entry.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        seq: Seq,
+        pc: u64,
+        inst: Inst,
+        srcs: [Option<PhysReg>; 3],
+        dest: Option<(Reg, PhysReg, PhysReg)>,
+        checkpoint: Checkpoint,
+        pred_next: u64,
+        pred_taken: bool,
+        pred_info: Option<PredictInfo>,
+    ) -> RobEntry {
+        let is_cf = inst.is_control_flow();
+        // Direct unconditional control flow is never mispredicted: the
+        // target is program text. It resolves immediately.
+        let auto_resolved = !is_cf || matches!(inst, Inst::Jump { .. } | Inst::Call { .. });
+        let bytes = match inst {
+            Inst::Load { size, .. } | Inst::Store { size, .. } => size.bytes(),
+            _ => 0,
+        };
+        RobEntry {
+            seq,
+            pc,
+            inst,
+            srcs,
+            dest,
+            state: ExecState::Waiting,
+            done_at: 0,
+            result: 0,
+            in_rs: true,
+            checkpoint,
+            pred_next,
+            pred_taken,
+            pred_info,
+            actual_next: None,
+            actual_taken: false,
+            resolved: auto_resolved,
+            vp: false,
+            declassified: false,
+            mem: MemState { bytes, ..MemState::default() },
+        }
+    }
+
+    /// Whether this entry is a load.
+    pub fn is_load(&self) -> bool {
+        matches!(self.inst, Inst::Load { .. })
+    }
+
+    /// Whether this entry is a store.
+    pub fn is_store(&self) -> bool {
+        matches!(self.inst, Inst::Store { .. })
+    }
+
+    /// Whether execution is finished and the entry could retire (modulo
+    /// being at the head and resolution).
+    pub fn completed(&self) -> bool {
+        self.state == ExecState::Done
+    }
+
+    /// Whether the byte ranges of two memory accesses overlap.
+    pub fn ranges_overlap(a: u64, abytes: u64, b: u64, bbytes: u64) -> bool {
+        a < b.wrapping_add(bbytes) && b < a.wrapping_add(abytes)
+    }
+
+    /// Whether range `(a, abytes)` fully covers `(b, bbytes)`.
+    pub fn range_covers(a: u64, abytes: u64, b: u64, bbytes: u64) -> bool {
+        a <= b && b.wrapping_add(bbytes) <= a.wrapping_add(abytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_and_cover() {
+        assert!(RobEntry::ranges_overlap(0, 8, 4, 8));
+        assert!(!RobEntry::ranges_overlap(0, 4, 4, 4));
+        assert!(RobEntry::range_covers(0, 8, 0, 8));
+        assert!(RobEntry::range_covers(0, 8, 4, 4));
+        assert!(!RobEntry::range_covers(0, 8, 4, 8));
+        assert!(!RobEntry::range_covers(4, 4, 0, 8));
+    }
+}

@@ -1,0 +1,70 @@
+//! Write your own victim in textual assembly and measure it under every
+//! protection configuration — the fastest way to experiment with SPT.
+//!
+//! ```text
+//! cargo run --release --example custom_asm
+//! ```
+
+use spt_repro::core::{Config, ThreatModel};
+use spt_repro::isa::parse::parse_program;
+use spt_repro::ooo::{CoreConfig, Machine, RunLimits};
+
+// A binary-search kernel: the probe addresses depend on loaded data, so
+// delay-based protections pay on every level of the search.
+const PROGRAM: &str = "
+    movi r1, 0x4000        ; sorted table of 256 words
+    movi r2, 7777          ; search key (will not be found exactly)
+    movi r10, 0            ; iteration counter
+    movi r11, 400          ; iterations
+outer:
+    movi r3, 0             ; lo
+    movi r4, 256           ; hi
+search:
+    sub r5, r4, r3
+    sltui r6, r5, 2        ; done when hi - lo < 2
+    bne r6, r0, done
+    add r5, r3, r4
+    shri r5, r5, 1         ; mid
+    ld8 r7, [r1+r5<<3]     ; table[mid] — loaded value steers the branch
+    bltu r2, r7, go_left
+    mov r3, r5
+    j search
+go_left:
+    mov r4, r5
+    j search
+done:
+    addi r10, r10, 1
+    blt r10, r11, outer
+    halt
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = parse_program(PROGRAM)?;
+    println!("parsed {} instructions\n", program.len());
+    println!("{:<26} {:>9} {:>10}", "configuration", "cycles", "vs unsafe");
+
+    let mut base = None;
+    for config in [
+        Config::unsafe_baseline(ThreatModel::Futuristic),
+        Config::stt(ThreatModel::Futuristic),
+        Config::spt_full(ThreatModel::Futuristic),
+        Config::spt_sdo(ThreatModel::Futuristic),
+        Config::secure_baseline(ThreatModel::Futuristic),
+    ] {
+        let mut m = Machine::new(program.clone(), CoreConfig::default(), config);
+        // A sorted table 0, 64, 128, ...
+        for i in 0..256u64 {
+            m.mem_mut().store().write(0x4000 + 8 * i, i * 64, 8);
+        }
+        let out = m.run(RunLimits::default())?;
+        let b = *base.get_or_insert(out.cycles as f64);
+        println!(
+            "{:<26} {:>9} {:>9.2}x",
+            format!("{config}"),
+            out.cycles,
+            out.cycles as f64 / b
+        );
+    }
+    println!("\nEdit the PROGRAM string and re-run to explore your own kernels.");
+    Ok(())
+}

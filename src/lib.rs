@@ -1,0 +1,20 @@
+//! Umbrella crate for the SPT reproduction.
+//!
+//! Re-exports the public APIs of all member crates so examples and
+//! integration tests can use a single dependency. See the crate-level
+//! documentation of each member for details:
+//!
+//! - [`isa`] — the simulated instruction set, assembler, interpreter.
+//! - [`mem`] — memory hierarchy (caches, MSHRs, main memory).
+//! - [`frontend`] — branch prediction (TAGE, BTB, RAS) and fetch.
+//! - [`core`] — the paper's contribution: taint masks, the untaint algebra,
+//!   the bounded-width propagation engine, shadow L1/memory, configurations.
+//! - [`ooo`] — the out-of-order pipeline with SPT/STT/baseline protections.
+//! - [`workloads`] — SPEC2017-proxy and constant-time workloads, attacks.
+
+pub use spt_core as core;
+pub use spt_frontend as frontend;
+pub use spt_isa as isa;
+pub use spt_mem as mem;
+pub use spt_ooo as ooo;
+pub use spt_workloads as workloads;
