@@ -91,7 +91,7 @@ fn bench_tage(c: &mut Criterion) {
         let mut ghr = Ghr::new();
         let mut i = 0u64;
         b.iter(|| {
-            let taken = (i / 3) % 2 == 0;
+            let taken = (i / 3).is_multiple_of(2);
             let (pred, info) = tage.predict(0x40 + (i % 16), &ghr);
             tage.update(0x40 + (i % 16), &info, taken);
             ghr.push(taken);

@@ -4,11 +4,15 @@
 //! dedicated binaries: `fig7`, `fig8`, `fig9`, `headline`, `width_sweep`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use spt_bench::runner::{run_workload, suite_matrix};
+use spt_bench::runner::{suite_matrix, SweepOptions};
 use spt_core::{Config, ThreatModel};
-use spt_workloads::{ct_suite, spec_suite, Scale};
+use spt_workloads::{ct_suite, spec_suite, Scale, Workload};
 
 const BUDGET: u64 = 2_000;
+
+fn run_workload(w: &Workload, cfg: Config, budget: u64) -> spt_bench::RunRow {
+    spt_bench::run_workload(w, cfg, budget).expect("bench workload runs to completion")
+}
 
 fn fig7_sweep(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig7");
@@ -22,7 +26,7 @@ fn fig7_sweep(c: &mut Criterion) {
     };
     for threat in [ThreatModel::Futuristic, ThreatModel::Spectre] {
         g.bench_function(format!("sweep_{threat}"), |b| {
-            b.iter(|| criterion::black_box(suite_matrix(threat, &suite, BUDGET, false)))
+            b.iter(|| criterion::black_box(suite_matrix(threat, &suite, SweepOptions::new(BUDGET))))
         });
     }
     g.finish();

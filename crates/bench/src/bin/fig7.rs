@@ -4,65 +4,34 @@
 //!
 //! ```text
 //! cargo run -p spt-bench --release --bin fig7 -- [--model spectre|futuristic|both]
-//!                                                [--budget N] [--quick] [--verbose]
+//!                                                [--budget N] [--jobs N]
+//!                                                [--quick] [--verbose]
 //! ```
 //!
-//! Writes `results/fig7_<model>.csv` next to the console table.
+//! Writes `results/fig7_<model>.csv` next to the console table. The sweep
+//! fans out over `--jobs` workers (default: one per core); cell ordering
+//! and CSV bytes are identical at any job count.
 
+use spt_bench::cli::{exit_sweep_error, sweep_args, Flags};
 use spt_bench::report::{render_bars, render_fig7, write_fig7_csv};
-use spt_bench::runner::{bench_suite, suite_matrix, DEFAULT_BUDGET};
-use spt_core::ThreatModel;
+use spt_bench::runner::{bench_suite, suite_matrix};
 use std::path::PathBuf;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut models = vec![ThreatModel::Futuristic, ThreatModel::Spectre];
-    let mut budget = DEFAULT_BUDGET;
-    let mut verbose = false;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--model" => {
-                i += 1;
-                models = match args[i].as_str() {
-                    "spectre" => vec![ThreatModel::Spectre],
-                    "futuristic" => vec![ThreatModel::Futuristic],
-                    "both" => vec![ThreatModel::Futuristic, ThreatModel::Spectre],
-                    other => {
-                        eprintln!("unknown model `{other}`");
-                        std::process::exit(2);
-                    }
-                };
-            }
-            "--budget" => {
-                i += 1;
-                budget = args[i].parse().expect("--budget takes a number");
-            }
-            "--quick" => budget = 5_000,
-            "--verbose" => verbose = true,
-            other => {
-                eprintln!("unknown flag `{other}`");
-                std::process::exit(2);
-            }
-        }
-        i += 1;
-    }
+    let args = sweep_args("fig7", Flags { model: true, quick: true });
 
     let suite = bench_suite();
-    for model in models {
-        eprintln!("== Figure 7, {model} model (budget {budget} retired) ==");
-        let m = suite_matrix(model, &suite, budget, verbose);
+    for model in args.models {
+        eprintln!(
+            "== Figure 7, {model} model (budget {} retired, {} jobs) ==",
+            args.opts.budget, args.opts.jobs
+        );
+        let m = suite_matrix(model, &suite, args.opts).unwrap_or_else(|e| exit_sweep_error(&e));
         let spec: Vec<usize> = m.spec_indices(&suite);
         let ct: Vec<usize> = m.ct_indices(&suite);
         let all: Vec<usize> = (0..suite.len()).collect();
         println!("\nFigure 7 — execution time normalized to UnsafeBaseline ({model} model)\n");
-        println!(
-            "{}",
-            render_fig7(
-                &m,
-                &[("avg(SPEC)", spec), ("avg(CT)", ct), ("avg(all)", all)]
-            )
-        );
+        println!("{}", render_fig7(&m, &[("avg(SPEC)", spec), ("avg(CT)", ct), ("avg(all)", all)]));
         println!("{}", render_bars(&m, "SPT{Bwd,ShadowL1}", 40));
         let path = PathBuf::from(format!("results/fig7_{model}.csv"));
         match write_fig7_csv(&m, &path) {

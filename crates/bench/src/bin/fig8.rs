@@ -4,48 +4,40 @@
 //! exactly one rule.
 //!
 //! ```text
-//! cargo run -p spt-bench --release --bin fig8 -- [--budget N]
+//! cargo run -p spt-bench --release --bin fig8 -- [--budget N] [--jobs N]
 //! ```
 
-use spt_bench::runner::{bench_suite, run_workload, DEFAULT_BUDGET};
+use spt_bench::cli::{exit_sweep_error, sweep_args, Flags};
+use spt_bench::runner::{bench_suite, run_indexed, run_workload};
 use spt_core::{Config, ThreatModel, UntaintKind};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut budget = DEFAULT_BUDGET;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--budget" => {
-                i += 1;
-                budget = args[i].parse().expect("--budget takes a number");
-            }
-            other => {
-                eprintln!("unknown flag `{other}`");
-                std::process::exit(2);
-            }
-        }
-        i += 1;
-    }
+    let args = sweep_args("fig8", Flags::default());
 
     let suite = bench_suite();
+    const MODELS: [(&str, ThreatModel); 2] =
+        [("F", ThreatModel::Futuristic), ("S", ThreatModel::Spectre)];
+    let rows = run_indexed(suite.len() * MODELS.len(), args.opts.jobs, |i| {
+        let (w, m) = (&suite[i / MODELS.len()], MODELS[i % MODELS.len()].1);
+        run_workload(w, Config::spt_full(m), args.opts.budget)
+    });
+
     println!("Figure 8 — untaint-event breakdown for SPT{{Bwd,ShadowL1}} (% of events)");
-    println!("F = Futuristic model, S = Spectre model; budget {budget} retired\n");
+    println!("F = Futuristic model, S = Spectre model; budget {} retired\n", args.opts.budget);
     print!("{:<14}{:>2}", "benchmark", "");
     for k in UntaintKind::ALL {
         print!("{:>14}", k.label());
     }
     println!("{:>12}", "total");
-    for w in &suite {
-        for (tag, model) in [("F", ThreatModel::Futuristic), ("S", ThreatModel::Spectre)] {
-            let row = run_workload(w, Config::spt_full(model), budget);
-            let total = row.stats.spt.events.total().max(1);
-            print!("{:<14}{:>2}", w.name, tag);
-            for k in UntaintKind::ALL {
-                let pct = 100.0 * row.stats.spt.events[k] as f64 / total as f64;
-                print!("{pct:>13.1}%");
-            }
-            println!("{:>12}", row.stats.spt.events.total());
+    for (i, row) in rows.into_iter().enumerate() {
+        let row = row.unwrap_or_else(|e| exit_sweep_error(&e));
+        let (w, tag) = (&suite[i / MODELS.len()], MODELS[i % MODELS.len()].0);
+        let total = row.stats.spt.events.total().max(1);
+        print!("{:<14}{:>2}", w.name, tag);
+        for k in UntaintKind::ALL {
+            let pct = 100.0 * row.stats.spt.events[k] as f64 / total as f64;
+            print!("{pct:>13.1}%");
         }
+        println!("{:>12}", row.stats.spt.events.total());
     }
 }

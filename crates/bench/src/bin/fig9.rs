@@ -4,32 +4,23 @@
 //! (§9.4: on average ~81% of untainting cycles untaint at most 3).
 //!
 //! ```text
-//! cargo run -p spt-bench --release --bin fig9 -- [--budget N]
+//! cargo run -p spt-bench --release --bin fig9 -- [--budget N] [--jobs N]
 //! ```
 
-use spt_bench::runner::{run_workload, DEFAULT_BUDGET};
+use spt_bench::cli::{exit_sweep_error, sweep_args, Flags};
+use spt_bench::runner::{run_indexed, run_workload};
 use spt_core::{Config, ThreatModel};
 use spt_workloads::{spec_suite, Scale};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut budget = DEFAULT_BUDGET;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--budget" => {
-                i += 1;
-                budget = args[i].parse().expect("--budget takes a number");
-            }
-            other => {
-                eprintln!("unknown flag `{other}`");
-                std::process::exit(2);
-            }
-        }
-        i += 1;
-    }
+    let args = sweep_args("fig9", Flags::default());
+    let budget = args.opts.budget;
 
     let suite = spec_suite(Scale::Bench);
+    let rows = run_indexed(suite.len(), args.opts.jobs, |i| {
+        run_workload(&suite[i], Config::spt_ideal(ThreatModel::Futuristic), budget)
+    });
+
     println!("Figure 9 — % of untainting cycles untainting at most N registers");
     println!("(SPT{{Ideal,ShadowMem}}, Futuristic model, SPEC proxies; budget {budget})\n");
     print!("{:<14}", "benchmark");
@@ -38,8 +29,8 @@ fn main() {
     }
     println!();
     let mut avg = [0.0f64; 10];
-    for w in &suite {
-        let row = run_workload(w, Config::spt_ideal(ThreatModel::Futuristic), budget);
+    for (w, row) in suite.iter().zip(rows) {
+        let row = row.unwrap_or_else(|e| exit_sweep_error(&e));
         print!("{:<14}", w.name);
         for n in 1..=10usize {
             let cdf = 100.0 * row.stats.spt.cdf_at_most(n);

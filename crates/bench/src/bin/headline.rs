@@ -9,35 +9,21 @@
 //! * extra overhead vs STT's narrower scope (paper: 26.1 / 3.3 pts).
 //!
 //! ```text
-//! cargo run -p spt-bench --release --bin headline -- [--budget N]
+//! cargo run -p spt-bench --release --bin headline -- [--budget N] [--jobs N]
 //! ```
 
+use spt_bench::cli::{exit_sweep_error, sweep_args, Flags};
 use spt_bench::report::{overhead_pct, ratio};
-use spt_bench::runner::{bench_suite, suite_matrix, DEFAULT_BUDGET};
+use spt_bench::runner::{bench_suite, suite_matrix};
 use spt_core::ThreatModel;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut budget = DEFAULT_BUDGET;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--budget" => {
-                i += 1;
-                budget = args[i].parse().expect("--budget takes a number");
-            }
-            other => {
-                eprintln!("unknown flag `{other}`");
-                std::process::exit(2);
-            }
-        }
-        i += 1;
-    }
+    let args = sweep_args("headline", Flags::default());
 
     let suite = bench_suite();
     for model in [ThreatModel::Futuristic, ThreatModel::Spectre] {
-        eprintln!("== running sweep for {model} ==");
-        let m = suite_matrix(model, &suite, budget, false);
+        eprintln!("== running sweep for {model} ({} jobs) ==", args.opts.jobs);
+        let m = suite_matrix(model, &suite, args.opts).unwrap_or_else(|e| exit_sweep_error(&e));
         let all: Vec<usize> = (0..suite.len()).collect();
         let ct = m.ct_indices(&suite);
 

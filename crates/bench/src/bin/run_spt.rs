@@ -23,6 +23,7 @@
 //! artifact ("to run InsecureBaseline, simply provide the --executable and
 //! nothing else"). `--stt` selects the STT comparison design.
 
+use spt_bench::cli::exit_sweep_error;
 use spt_bench::runner::run_workload;
 use spt_core::{Config, ShadowMode, ThreatModel, UntaintMethod};
 use spt_workloads::{full_suite, Scale};
@@ -31,8 +32,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: run_spt --executable <workload> [--enable-spt] [--stt]\n\
          \x20      [--threat-model spectre|futuristic] [--untaint-method none|fwd|bwd|ideal]\n\
-         \x20      [--enable-shadow-l1 | --enable-shadow-mem] [--budget N] [--track-insts]\n\
-         \x20      [--list]"
+         \x20      [--enable-shadow-l1 | --enable-shadow-mem] [--budget N] [--jobs N]\n\
+         \x20      [--track-insts] [--list]"
     );
     std::process::exit(2);
 }
@@ -81,6 +82,12 @@ fn main() {
                 i += 1;
                 budget = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
             }
+            // A single run has nothing to fan out; accepted so scripts can
+            // pass a uniform flag set to every binary.
+            "--jobs" => {
+                i += 1;
+                let _: usize = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
             "--track-insts" => track_insts = true,
             "--list" => {
                 println!("available workloads:");
@@ -121,24 +128,54 @@ fn main() {
     };
 
     eprintln!("running {} under {config} ...", w.name);
-    let row = run_workload(w, config, budget);
+    let row = run_workload(w, config, budget).unwrap_or_else(|e| exit_sweep_error(&e));
 
     // stats.txt-style output (the artifact's "the one of most interest will
     // be numCycles").
     println!("numCycles                 {:>14}   # cycles to retire the budget", row.cycles);
     println!("numRetired                {:>14}   # instructions retired", row.retired);
-    println!("ipc                       {:>14.4}   # retired instructions per cycle", row.stats.ipc());
-    println!("numFetched                {:>14}   # instructions fetched (incl. wrong path)", row.stats.fetched);
+    println!(
+        "ipc                       {:>14.4}   # retired instructions per cycle",
+        row.stats.ipc()
+    );
+    println!(
+        "numFetched                {:>14}   # instructions fetched (incl. wrong path)",
+        row.stats.fetched
+    );
     println!("numSquashes               {:>14}   # pipeline squashes", row.stats.squashes);
-    println!("branchMispredicts         {:>14}   # conditional mispredictions", row.stats.branch_mispredicts);
-    println!("indirectMispredicts       {:>14}   # indirect-target mispredictions", row.stats.indirect_mispredicts);
-    println!("memOrderViolations        {:>14}   # store->load order violations", row.stats.mem_violations);
+    println!(
+        "branchMispredicts         {:>14}   # conditional mispredictions",
+        row.stats.branch_mispredicts
+    );
+    println!(
+        "indirectMispredicts       {:>14}   # indirect-target mispredictions",
+        row.stats.indirect_mispredicts
+    );
+    println!(
+        "memOrderViolations        {:>14}   # store->load order violations",
+        row.stats.mem_violations
+    );
     println!("stlForwards               {:>14}   # store-to-load forwards", row.stats.stl_forwards);
-    println!("xmitDelayCycles           {:>14}   # transmitter-slot cycles blocked by taint", row.stats.transmitter_delay_cycles);
-    println!("resolutionDelayCycles     {:>14}   # deferred branch-resolution cycles", row.stats.resolution_delay_cycles);
-    println!("untaintEvents             {:>14}   # registers untainted (all mechanisms)", row.stats.spt.events.total());
-    println!("untaintingCycles          {:>14}   # cycles with >=1 untaint", row.stats.spt.untainting_cycles);
-    println!("untaintDeferred           {:>14}   # broadcasts deferred by the width limit", row.stats.spt.broadcasts_deferred);
+    println!(
+        "xmitDelayCycles           {:>14}   # transmitter-slot cycles blocked by taint",
+        row.stats.transmitter_delay_cycles
+    );
+    println!(
+        "resolutionDelayCycles     {:>14}   # deferred branch-resolution cycles",
+        row.stats.resolution_delay_cycles
+    );
+    println!(
+        "untaintEvents             {:>14}   # registers untainted (all mechanisms)",
+        row.stats.spt.events.total()
+    );
+    println!(
+        "untaintingCycles          {:>14}   # cycles with >=1 untaint",
+        row.stats.spt.untainting_cycles
+    );
+    println!(
+        "untaintDeferred           {:>14}   # broadcasts deferred by the width limit",
+        row.stats.spt.broadcasts_deferred
+    );
     if track_insts {
         println!("\n# untaint-event breakdown (--track-insts):");
         for (kind, count) in row.stats.spt.events.iter() {

@@ -3,40 +3,38 @@
 //! tainted loads.
 //!
 //! ```text
-//! cargo run -p spt-bench --release --bin sdo -- [--budget N]
+//! cargo run -p spt-bench --release --bin sdo -- [--budget N] [--jobs N]
 //! ```
 
-use spt_bench::runner::{bench_suite, run_workload, DEFAULT_BUDGET};
+use spt_bench::cli::{exit_sweep_error, sweep_args, Flags};
+use spt_bench::runner::{bench_suite, run_indexed, run_workload};
 use spt_core::{Config, ThreatModel};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut budget = DEFAULT_BUDGET;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--budget" => {
-                i += 1;
-                budget = args[i].parse().expect("--budget takes a number");
-            }
-            other => {
-                eprintln!("unknown flag `{other}`");
-                std::process::exit(2);
-            }
-        }
-        i += 1;
-    }
+    let args = sweep_args("sdo", Flags::default());
+    let budget = args.opts.budget;
+    let t = ThreatModel::Futuristic;
 
     let suite = bench_suite();
+    let configs = [Config::unsafe_baseline(t), Config::spt_full(t), Config::spt_sdo(t)];
+    let rows = run_indexed(suite.len() * configs.len(), args.opts.jobs, |i| {
+        run_workload(&suite[i / configs.len()], configs[i % configs.len()], budget)
+    });
+    let cell = |wi: usize, ci: usize| {
+        rows[wi * configs.len() + ci]
+            .as_ref()
+            .map(|r| r.cycles as f64)
+            .unwrap_or_else(|e| exit_sweep_error(e))
+    };
+
     println!("Protection-policy ablation — Futuristic model, normalized to UnsafeBaseline");
     println!("(budget {budget} retired)\n");
     println!("{:<14}{:>14}{:>14}{:>22}", "benchmark", "SPT(delay)", "SPT+SDO", "oblivious better?");
-    let t = ThreatModel::Futuristic;
     let (mut sum_d, mut sum_o) = (0.0, 0.0);
-    for w in &suite {
-        let base = run_workload(w, Config::unsafe_baseline(t), budget).cycles as f64;
-        let delay = run_workload(w, Config::spt_full(t), budget).cycles as f64 / base;
-        let obliv = run_workload(w, Config::spt_sdo(t), budget).cycles as f64 / base;
+    for (wi, w) in suite.iter().enumerate() {
+        let base = cell(wi, 0);
+        let delay = cell(wi, 1) / base;
+        let obliv = cell(wi, 2) / base;
         sum_d += delay;
         sum_o += obliv;
         println!(

@@ -3,6 +3,21 @@
 //! it records the literature survey, not a measurement.
 
 fn main() {
+    // No simulation happens here, but accept the sweep flags so scripts can
+    // pass a uniform flag set to every binary.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--budget" | "--jobs" => i += 1,
+            "--verbose" => {}
+            other => {
+                eprintln!("table3: unknown flag `{other}` (accepts --budget/--jobs/--verbose)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
     let rows: [(&str, &str, &str, &str, &str); 17] = [
         ("InvisiSpec [76]", "Spec/Non-spec accessed data", "Cache-based", "CC, ST", "yes"),
         ("SafeSpec [39]", "Spec/Non-spec accessed data", "Cache-based", "CC, ST", "yes"),
@@ -11,10 +26,28 @@ fn main() {
         ("Cond. Spec. [44]", "Spec/Non-spec accessed data", "Cache-based", "CC, ST", "yes"),
         ("MuonTrap [7]", "Spec/Non-spec accessed data", "Cache-based", "CC, ST", "yes"),
         ("CleanupSpec [58]", "Spec/Non-spec accessed data", "Cache-based", "CC, ST", "yes"),
-        ("CSF [69]", "Spec/Non-spec accessed data", "Cache-based", "CC, ST", "no, user annotates secrets"),
+        (
+            "CSF [69]",
+            "Spec/Non-spec accessed data",
+            "Cache-based",
+            "CC, ST",
+            "no, user annotates secrets",
+        ),
         ("MI6 [18]", "Spec/Non-spec accessed data", "All", "CC, ST", "yes"),
-        ("ConTExT [61]", "Spec/Non-spec accessed data", "All", "CC, ST, SMT", "no, user annotates secrets"),
-        ("OISA [81]", "Spec/Non-spec accessed data", "All", "CC, ST, SMT", "no, user annotates secrets"),
+        (
+            "ConTExT [61]",
+            "Spec/Non-spec accessed data",
+            "All",
+            "CC, ST, SMT",
+            "no, user annotates secrets",
+        ),
+        (
+            "OISA [81]",
+            "Spec/Non-spec accessed data",
+            "All",
+            "CC, ST, SMT",
+            "no, user annotates secrets",
+        ),
         ("STT [83]", "Spec accessed data", "All", "CC, ST, SMT", "yes"),
         ("SDO [82]", "Spec accessed data", "All", "CC, ST, SMT", "yes"),
         ("SpecShield [11]", "Spec accessed data", "All", "CC, ST, SMT", "yes"),
@@ -24,8 +57,8 @@ fn main() {
     ];
     println!("Table 3 — prior hardware-based mitigations for speculative execution attacks\n");
     println!(
-        "{:<20} {:<30} {:<13} {:<13} {}",
-        "Scheme", "Data protection scope", "Transmitters", "Receivers", "Transparent?"
+        "{:<20} {:<30} {:<13} {:<13} Transparent?",
+        "Scheme", "Data protection scope", "Transmitters", "Receivers"
     );
     println!("{}", "-".repeat(100));
     for (scheme, scope, tx, rx, transparent) in rows {

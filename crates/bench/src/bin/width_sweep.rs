@@ -2,52 +2,43 @@
 //! execution time of the full SPT design on a representative subset.
 //!
 //! ```text
-//! cargo run -p spt-bench --release --bin width_sweep -- [--budget N]
+//! cargo run -p spt-bench --release --bin width_sweep -- [--budget N] [--jobs N]
 //! ```
 
-use spt_bench::runner::{run_workload, DEFAULT_BUDGET};
+use spt_bench::cli::{exit_sweep_error, sweep_args, Flags};
+use spt_bench::runner::{run_indexed, run_workload};
 use spt_core::{Config, ThreatModel};
 use spt_workloads::{full_suite, Scale};
 
+const WIDTHS: [usize; 6] = [1, 2, 3, 4, 8, 16];
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut budget = DEFAULT_BUDGET;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--budget" => {
-                i += 1;
-                budget = args[i].parse().expect("--budget takes a number");
-            }
-            other => {
-                eprintln!("unknown flag `{other}`");
-                std::process::exit(2);
-            }
-        }
-        i += 1;
-    }
+    let args = sweep_args("width_sweep", Flags::default());
+    let budget = args.opts.budget;
 
     let names = ["perlbench", "mcf", "omnetpp", "namd", "povray", "chacha20"];
-    let suite: Vec<_> = full_suite(Scale::Bench)
-        .into_iter()
-        .filter(|w| names.contains(&w.name))
-        .collect();
-    let widths = [1usize, 2, 3, 4, 8, 16];
+    let suite: Vec<_> =
+        full_suite(Scale::Bench).into_iter().filter(|w| names.contains(&w.name)).collect();
+
+    let rows = run_indexed(suite.len() * WIDTHS.len(), args.opts.jobs, |i| {
+        let (wl, width) = (&suite[i / WIDTHS.len()], WIDTHS[i % WIDTHS.len()]);
+        let mut cfg = Config::spt_full(ThreatModel::Futuristic);
+        cfg.broadcast_width = width;
+        run_workload(wl, cfg, budget)
+    });
 
     println!("Broadcast-width ablation — SPT{{Bwd,ShadowL1}}, Futuristic model");
     println!("cells: execution time normalized to width=16; budget {budget} retired\n");
     print!("{:<14}", "benchmark");
-    for w in widths {
+    for w in WIDTHS {
         print!("{:>10}", format!("W={w}"));
     }
     println!("{:>12}", "deferred@3");
-    for wl in &suite {
+    for (wi, wl) in suite.iter().enumerate() {
         let mut cycles = Vec::new();
         let mut deferred3 = 0;
-        for &w in &widths {
-            let mut cfg = Config::spt_full(ThreatModel::Futuristic);
-            cfg.broadcast_width = w;
-            let row = run_workload(wl, cfg, budget);
+        for (ci, &w) in WIDTHS.iter().enumerate() {
+            let row = rows[wi * WIDTHS.len() + ci].as_ref().unwrap_or_else(|e| exit_sweep_error(e));
             if w == 3 {
                 deferred3 = row.stats.spt.broadcasts_deferred;
             }

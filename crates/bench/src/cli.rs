@@ -1,0 +1,119 @@
+//! Minimal shared flag parsing for the experiment binaries.
+//!
+//! Every binary accepts `--budget N`, `--jobs N`, and `--verbose`; the
+//! Figure-7 driver additionally takes `--model` and `--quick`. Parsing is
+//! centralized here so the eight binaries stay flag-compatible and the
+//! worker pool is sized identically everywhere.
+
+use crate::runner::{SweepError, SweepOptions, DEFAULT_BUDGET};
+use spt_core::ThreatModel;
+
+/// Flags common to the sweep binaries.
+#[derive(Clone, Debug)]
+pub struct SweepArgs {
+    /// Runner options assembled from `--budget`, `--jobs`, `--verbose`.
+    pub opts: SweepOptions,
+    /// Threat models selected with `--model` (both, in paper order, when
+    /// the flag is absent or unsupported).
+    pub models: Vec<ThreatModel>,
+}
+
+/// Which optional flags a binary supports.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Flags {
+    /// Accept `--model spectre|futuristic|both`.
+    pub model: bool,
+    /// Accept `--quick` (drops the budget to 5 000).
+    pub quick: bool,
+}
+
+/// Parses `std::env::args`, exiting with usage on an unknown flag.
+pub fn sweep_args(binary: &str, flags: Flags) -> SweepArgs {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut parsed = SweepArgs {
+        opts: SweepOptions::new(DEFAULT_BUDGET),
+        models: vec![ThreatModel::Futuristic, ThreatModel::Spectre],
+    };
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("{binary}: {flag} needs a value");
+            std::process::exit(2);
+        })
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--budget" => {
+                let v = value(&mut i, "--budget");
+                parsed.opts.budget = v.parse().unwrap_or_else(|_| {
+                    eprintln!("{binary}: --budget takes a number, got `{v}`");
+                    std::process::exit(2);
+                });
+            }
+            "--jobs" => {
+                let v = value(&mut i, "--jobs");
+                let jobs: usize = v.parse().unwrap_or_else(|_| {
+                    eprintln!("{binary}: --jobs takes a number, got `{v}`");
+                    std::process::exit(2);
+                });
+                parsed.opts = parsed.opts.jobs(jobs);
+            }
+            "--verbose" => parsed.opts.verbose = true,
+            "--quick" if flags.quick => parsed.opts.budget = 5_000,
+            "--model" if flags.model => {
+                parsed.models = match value(&mut i, "--model").as_str() {
+                    "spectre" => vec![ThreatModel::Spectre],
+                    "futuristic" => vec![ThreatModel::Futuristic],
+                    "both" => vec![ThreatModel::Futuristic, ThreatModel::Spectre],
+                    other => {
+                        eprintln!("{binary}: unknown model `{other}`");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            other => {
+                eprintln!("{binary}: unknown flag `{other}`");
+                eprintln!("{}", usage(binary, flags));
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    parsed
+}
+
+/// One-line usage string for a binary's flag set.
+pub fn usage(binary: &str, flags: Flags) -> String {
+    let mut s = format!("usage: {binary} [--budget N] [--jobs N] [--verbose]");
+    if flags.model {
+        s.push_str(" [--model spectre|futuristic|both]");
+    }
+    if flags.quick {
+        s.push_str(" [--quick]");
+    }
+    s
+}
+
+/// Reports a failed sweep cell and exits: the standard way every binary
+/// surfaces a wedged (workload, config, threat) pair.
+pub fn exit_sweep_error(e: &SweepError) -> ! {
+    eprintln!("sweep failed: {e}");
+    std::process::exit(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usage_mentions_supported_flags() {
+        let all = usage("fig7", Flags { model: true, quick: true });
+        assert!(all.contains("--jobs"));
+        assert!(all.contains("--model"));
+        assert!(all.contains("--quick"));
+        let plain = usage("fig8", Flags::default());
+        assert!(plain.contains("--jobs"));
+        assert!(!plain.contains("--model"));
+    }
+}

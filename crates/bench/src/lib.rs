@@ -10,11 +10,19 @@
 //! | `fig9` | Figure 9: registers untainted per untainting cycle (CDF) |
 //! | `headline` | §9.2 headline numbers (overheads, ratios, deltas) |
 //! | `width_sweep` | §9.4 broadcast-width ablation |
+//! | `sdo` | §6.3 protection-policy ablation (delay vs oblivious) |
+//! | `run_spt` | single-run front-end mirroring the artifact's `run_spt.py` |
 //! | `table3` | Table 3: related-work taxonomy (static) |
 //!
-//! The library half holds the shared runner and text/CSV renderers.
+//! The library half holds the shared runner (with its bounded worker
+//! pool — every binary takes `--jobs N`), flag parsing, and text/CSV
+//! renderers.
 
+pub mod cli;
 pub mod report;
 pub mod runner;
 
-pub use runner::{run_workload, suite_matrix, RunRow, SuiteMatrix, DEFAULT_BUDGET};
+pub use runner::{
+    default_jobs, run_indexed, run_workload, suite_matrix, RunRow, SuiteMatrix, SweepError,
+    SweepOptions, DEFAULT_BUDGET,
+};

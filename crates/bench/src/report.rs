@@ -65,16 +65,14 @@ pub fn render_bars(m: &SuiteMatrix, config: &str, width: usize) -> String {
     let Some(c) = m.config_index(config) else {
         return format!("unknown configuration `{config}`\n");
     };
-    let max = (0..m.workloads.len())
-        .map(|w| m.normalized(w, c))
-        .fold(1.0f64, f64::max);
+    let max = (0..m.workloads.len()).map(|w| m.normalized(w, c)).fold(1.0f64, f64::max);
     let mut out = String::new();
     let _ = writeln!(out, "{config} (normalized to UnsafeBaseline, '|' = 1.0):");
     for w in 0..m.workloads.len() {
         let v = m.normalized(w, c);
         let bar = ((v / max) * width as f64).round() as usize;
         let one = ((1.0 / max) * width as f64).round() as usize;
-        let mut line: Vec<char> = std::iter::repeat('#').take(bar.max(1)).collect();
+        let mut line: Vec<char> = std::iter::repeat_n('#', bar.max(1)).collect();
         while line.len() <= one {
             line.push(' ');
         }
@@ -105,7 +103,7 @@ pub fn overhead_pct(normalized: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runner::{suite_matrix, RunRow};
+    use crate::runner::{suite_matrix, RunRow, SweepOptions, BASELINE_CONFIG};
     use spt_core::ThreatModel;
 
     fn tiny_matrix() -> SuiteMatrix {
@@ -119,9 +117,9 @@ mod tests {
         };
         SuiteMatrix {
             threat: ThreatModel::Spectre,
-            configs: vec!["Unsafe".into(), "Secure".into()],
+            configs: vec![BASELINE_CONFIG.into(), "SecureBaseline".into()],
             workloads: vec!["w".into()],
-            rows: vec![vec![mk(100, "Unsafe"), mk(250, "Secure")]],
+            rows: vec![vec![mk(100, BASELINE_CONFIG), mk(250, "SecureBaseline")]],
         }
     }
 
@@ -141,7 +139,7 @@ mod tests {
         let path = dir.join("fig7.csv");
         write_fig7_csv(&m, &path).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
-        assert!(text.starts_with("benchmark,Unsafe,Secure"));
+        assert!(text.starts_with("benchmark,UnsafeBaseline,SecureBaseline"));
         assert!(text.contains("2.5"));
         let _ = std::fs::remove_dir_all(dir);
     }
@@ -149,7 +147,7 @@ mod tests {
     #[test]
     fn bars_render() {
         let m = tiny_matrix();
-        let bars = render_bars(&m, "Secure", 20);
+        let bars = render_bars(&m, "SecureBaseline", 20);
         assert!(bars.contains("w"));
         assert!(bars.contains('#'));
         assert!(render_bars(&m, "nope", 20).contains("unknown"));
@@ -164,7 +162,8 @@ mod tests {
     #[test]
     fn geomean_between_min_and_max() {
         let suite = spt_workloads::ct_suite(spt_workloads::Scale::Bench);
-        let m = suite_matrix(ThreatModel::Spectre, &suite[..1], 500, false);
+        let m = suite_matrix(ThreatModel::Spectre, &suite[..1], SweepOptions::new(500))
+            .expect("tiny sweep runs to completion");
         for c in 0..m.configs.len() {
             let g = m.geomean_over(c, &[0]);
             assert!((g - m.normalized(0, c)).abs() < 1e-9);

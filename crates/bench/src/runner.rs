@@ -1,9 +1,22 @@
 //! Shared simulation runner for the experiment binaries.
+//!
+//! Every cell of the paper's evaluation matrix (workload × configuration ×
+//! threat model) is an independent simulation, so the sweep fans out over a
+//! bounded worker pool ([`run_indexed`]) sized by
+//! [`std::thread::available_parallelism`] and overridable with the
+//! `--jobs N` flag every experiment binary accepts. Results are written
+//! into pre-indexed slots, so the assembled [`SuiteMatrix`] — and every
+//! CSV and table derived from it — is byte-identical to a sequential run
+//! regardless of scheduling.
 
 use spt_core::{Config, ThreatModel};
 use spt_mem::MemSystem;
-use spt_ooo::{CoreConfig, Machine, MachineStats, RunLimits};
+use spt_ooo::{CoreConfig, Machine, MachineStats, RunLimits, SimError};
 use spt_workloads::{Scale, Workload};
+use std::fmt;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// Default retired-instruction budget per (workload, config) run.
 ///
@@ -29,26 +42,143 @@ pub struct RunRow {
     pub stats: MachineStats,
 }
 
+/// A simulation failure carrying the identity of the sweep cell that
+/// wedged, so a single bad (workload, config, threat) pair produces one
+/// clear diagnostic instead of tearing down a long sweep with a panic.
+#[derive(Clone, Debug)]
+pub struct SweepError {
+    /// Workload name of the failed cell.
+    pub workload: String,
+    /// Configuration display name of the failed cell.
+    pub config: String,
+    /// Attack model of the failed cell.
+    pub threat: ThreatModel,
+    /// The underlying simulator error.
+    pub source: SimError,
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} under {} [{}]: {}", self.workload, self.config, self.threat, self.source)
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
 /// Runs one workload under one configuration for `budget` retired
 /// instructions and returns the row.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the simulator deadlocks (a bug, not a measurement).
-pub fn run_workload(w: &Workload, cfg: Config, budget: u64) -> RunRow {
+/// Returns a [`SweepError`] identifying the (workload, config, threat)
+/// cell if the simulator deadlocks (a bug, not a measurement).
+pub fn run_workload(w: &Workload, cfg: Config, budget: u64) -> Result<RunRow, SweepError> {
     let mut mem = MemSystem::default();
     w.apply_memory(mem.store());
     let mut m = Machine::with_memory(w.program.clone(), CoreConfig::default(), cfg, mem);
-    let out = m
-        .run(RunLimits::retired(budget))
-        .unwrap_or_else(|e| panic!("{} under {cfg}: {e}", w.name));
-    RunRow {
+    let out = m.run(RunLimits::retired(budget)).map_err(|source| SweepError {
+        workload: w.name.to_string(),
+        config: cfg.name().to_string(),
+        threat: cfg.threat,
+        source,
+    })?;
+    Ok(RunRow {
         workload: w.name.to_string(),
         config: cfg.name().to_string(),
         threat: cfg.threat,
         cycles: out.cycles,
         retired: out.retired,
         stats: m.stats(),
+    })
+}
+
+/// Worker count used when `--jobs` is not given: one per available core.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Runs `n` independent tasks on a bounded scoped worker pool of `jobs`
+/// threads and returns their results in task-index order.
+///
+/// Tasks are claimed from a shared atomic counter (so long tasks don't
+/// serialize behind a static partition) and every result is placed into
+/// its pre-indexed slot; output order therefore never depends on thread
+/// scheduling. `jobs <= 1` degenerates to a plain sequential loop on the
+/// calling thread — bit-identical results either way.
+pub fn run_indexed<T, F>(n: usize, jobs: usize, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = jobs.max(1).min(n);
+    let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(n).collect();
+    if jobs <= 1 {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(task(i));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                let tx = tx.clone();
+                let (next, task) = (&next, &task);
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    if tx.send((i, task(i))).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (i, value) in rx {
+                slots[i] = Some(value);
+            }
+        });
+    }
+    slots.into_iter().map(|s| s.expect("every task index was executed")).collect()
+}
+
+/// Knobs shared by every sweep entry point.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepOptions {
+    /// Retired-instruction budget per run.
+    pub budget: u64,
+    /// Log each (workload, config) pair as it is dispatched.
+    pub verbose: bool,
+    /// Worker threads (`--jobs N`); `1` means fully sequential.
+    pub jobs: usize,
+}
+
+impl Default for SweepOptions {
+    fn default() -> SweepOptions {
+        SweepOptions { budget: DEFAULT_BUDGET, verbose: false, jobs: default_jobs() }
+    }
+}
+
+impl SweepOptions {
+    /// Options with the given budget and default parallelism.
+    pub fn new(budget: u64) -> SweepOptions {
+        SweepOptions { budget, ..SweepOptions::default() }
+    }
+
+    /// Overrides the worker count.
+    pub fn jobs(mut self, jobs: usize) -> SweepOptions {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Enables or disables per-run dispatch logging.
+    pub fn verbose(mut self, verbose: bool) -> SweepOptions {
+        self.verbose = verbose;
+        self
     }
 }
 
@@ -65,27 +195,54 @@ pub struct SuiteMatrix {
     pub rows: Vec<Vec<RunRow>>,
 }
 
+/// Display name of the configuration every normalization divides by
+/// (paper Table 2's insecure baseline).
+pub const BASELINE_CONFIG: &str = "UnsafeBaseline";
+
 impl SuiteMatrix {
-    /// Cycles normalized to the first (UnsafeBaseline) column.
+    /// Column index of the [`BASELINE_CONFIG`] every normalization divides
+    /// by.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix has no `UnsafeBaseline` column — normalized
+    /// quantities are meaningless without it, and a silent positional
+    /// assumption (column 0) could divide by the wrong configuration.
+    pub fn baseline_index(&self) -> usize {
+        self.configs.iter().position(|c| c == BASELINE_CONFIG).unwrap_or_else(|| {
+            panic!(
+                "matrix has no {BASELINE_CONFIG} column to normalize against (configs: {:?})",
+                self.configs
+            )
+        })
+    }
+
+    /// Cycles normalized to the [`BASELINE_CONFIG`] column (validated by
+    /// name, not assumed to be column 0).
     pub fn normalized(&self, w: usize, c: usize) -> f64 {
-        let base = self.rows[w][0].cycles as f64;
+        let base = self.rows[w][self.baseline_index()].cycles as f64;
         self.rows[w][c].cycles as f64 / base
     }
 
     /// Arithmetic mean of normalized execution time for config `c` over a
     /// workload-index subset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty subset: a mean over nothing is a report bug, and
+    /// returning `NaN` would flow unannotated into tables and CSVs.
     pub fn mean_over(&self, c: usize, subset: &[usize]) -> f64 {
-        if subset.is_empty() {
-            return f64::NAN;
-        }
+        assert!(!subset.is_empty(), "mean_over: empty workload subset for config {c}");
         subset.iter().map(|&w| self.normalized(w, c)).sum::<f64>() / subset.len() as f64
     }
 
     /// Geometric mean of normalized execution time for config `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty subset, as [`Self::mean_over`] does.
     pub fn geomean_over(&self, c: usize, subset: &[usize]) -> f64 {
-        if subset.is_empty() {
-            return f64::NAN;
-        }
+        assert!(!subset.is_empty(), "geomean_over: empty workload subset for config {c}");
         let log_sum: f64 = subset.iter().map(|&w| self.normalized(w, c).ln()).sum();
         (log_sum / subset.len() as f64).exp()
     }
@@ -111,31 +268,45 @@ impl SuiteMatrix {
 }
 
 /// Runs the full Figure-7 sweep: every Table-2 configuration on every
-/// workload of the suite, for one threat model.
+/// workload of the suite, for one threat model, fanned out over
+/// [`SweepOptions::jobs`] workers.
+///
+/// Cell order in the result is identical to the sequential nested loop
+/// (workloads outer, configs inner), whatever the parallelism.
+///
+/// # Errors
+///
+/// Returns the first failing cell in deterministic (workload, config)
+/// order if any simulation deadlocks.
 pub fn suite_matrix(
     threat: ThreatModel,
     workloads: &[Workload],
-    budget: u64,
-    verbose: bool,
-) -> SuiteMatrix {
+    opts: SweepOptions,
+) -> Result<SuiteMatrix, SweepError> {
     let configs = Config::table2(threat);
-    let mut rows = Vec::with_capacity(workloads.len());
-    for w in workloads {
-        let mut row = Vec::with_capacity(configs.len());
-        for &cfg in &configs {
-            if verbose {
-                eprintln!("  running {} under {} ...", w.name, cfg);
-            }
-            row.push(run_workload(w, cfg, budget));
+    let cells = workloads.len() * configs.len();
+    let results = run_indexed(cells, opts.jobs, |i| {
+        let (w, c) = (i / configs.len(), i % configs.len());
+        if opts.verbose {
+            eprintln!("  running {} under {} ...", workloads[w].name, configs[c]);
         }
-        rows.push(row);
+        run_workload(&workloads[w], configs[c], opts.budget)
+    });
+
+    let mut rows = Vec::with_capacity(workloads.len());
+    let mut row = Vec::with_capacity(configs.len());
+    for result in results {
+        row.push(result?);
+        if row.len() == configs.len() {
+            rows.push(std::mem::replace(&mut row, Vec::with_capacity(configs.len())));
+        }
     }
-    SuiteMatrix {
+    Ok(SuiteMatrix {
         threat,
         configs: configs.iter().map(|c| c.name().to_string()).collect(),
         workloads: workloads.iter().map(|w| w.name.to_string()).collect(),
         rows,
-    }
+    })
 }
 
 /// Builds the standard bench-scale workload suite.
@@ -150,7 +321,8 @@ mod tests {
     #[test]
     fn run_one_workload_quickly() {
         let w = &spt_workloads::ct_suite(Scale::Bench)[1]; // chacha20
-        let row = run_workload(w, Config::unsafe_baseline(ThreatModel::Spectre), 2_000);
+        let row = run_workload(w, Config::unsafe_baseline(ThreatModel::Spectre), 2_000)
+            .expect("chacha20 runs");
         assert!(row.retired >= 2_000);
         assert!(row.cycles > 0);
         assert!(row.stats.ipc() > 0.1, "chacha20 should have reasonable IPC");
@@ -159,8 +331,56 @@ mod tests {
     #[test]
     fn matrix_normalization_is_one_for_baseline() {
         let suite = spt_workloads::ct_suite(Scale::Bench);
-        let m = suite_matrix(ThreatModel::Spectre, &suite[..1], 1_000, false);
-        assert!((m.normalized(0, 0) - 1.0).abs() < 1e-12);
+        let m = suite_matrix(ThreatModel::Spectre, &suite[..1], SweepOptions::new(1_000))
+            .expect("sweep completes");
+        let base = m.baseline_index();
+        assert!((m.normalized(0, base) - 1.0).abs() < 1e-12);
         assert_eq!(m.configs.len(), 8);
+    }
+
+    #[test]
+    fn pool_preserves_index_order() {
+        for jobs in [1, 2, 7, 64] {
+            let out = run_indexed(33, jobs, |i| i * i);
+            assert_eq!(out, (0..33).map(|i| i * i).collect::<Vec<_>>(), "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn pool_handles_empty_and_oversized() {
+        assert!(run_indexed(0, 8, |i| i).is_empty());
+        assert_eq!(run_indexed(1, 8, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn pool_results_can_carry_errors() {
+        let out: Vec<Result<usize, String>> =
+            run_indexed(8, 4, |i| if i == 5 { Err(format!("cell {i}")) } else { Ok(i) });
+        assert_eq!(out[5], Err("cell 5".to_string()));
+        assert_eq!(out[4], Ok(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "no UnsafeBaseline column")]
+    fn baseline_is_validated_by_name() {
+        let m = SuiteMatrix {
+            threat: ThreatModel::Spectre,
+            configs: vec!["Secure".into()],
+            workloads: vec![],
+            rows: vec![],
+        };
+        m.baseline_index();
+    }
+
+    #[test]
+    #[should_panic(expected = "empty workload subset")]
+    fn empty_subset_is_rejected() {
+        let m = SuiteMatrix {
+            threat: ThreatModel::Spectre,
+            configs: vec![BASELINE_CONFIG.to_string()],
+            workloads: vec![],
+            rows: vec![],
+        };
+        m.mean_over(0, &[]);
     }
 }

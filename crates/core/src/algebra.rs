@@ -34,10 +34,9 @@ use spt_isa::InstClass;
 /// ```
 pub fn forward_untaints(class: InstClass, src_tainted: &[bool]) -> bool {
     match class {
-        InstClass::Copy
-        | InstClass::Invertible2
-        | InstClass::InvertibleImm
-        | InstClass::Lossy => src_tainted.iter().all(|&t| !t),
+        InstClass::Copy | InstClass::Invertible2 | InstClass::InvertibleImm | InstClass::Lossy => {
+            src_tainted.iter().all(|&t| !t)
+        }
         // Loads: output is a function of memory, not only of operands.
         // Stores/branches have no register output. Const is untainted at
         // rename already.
@@ -74,11 +73,7 @@ pub fn forward_untaints(class: InstClass, src_tainted: &[bool]) -> bool {
 /// // Both inputs tainted: nothing can be inferred.
 /// assert_eq!(backward_untaints(InstClass::Invertible2, &[true, true], false), [false, false]);
 /// ```
-pub fn backward_untaints(
-    class: InstClass,
-    src_tainted: &[bool],
-    dest_tainted: bool,
-) -> [bool; 2] {
+pub fn backward_untaints(class: InstClass, src_tainted: &[bool], dest_tainted: bool) -> [bool; 2] {
     let mut out = [false; 2];
     if dest_tainted {
         return out;
@@ -146,23 +141,14 @@ mod tests {
     #[test]
     fn backward_invertible_two_source() {
         // Exactly one tainted source is recoverable.
-        assert_eq!(
-            backward_untaints(InstClass::Invertible2, &[false, true], false),
-            [false, true]
-        );
-        assert_eq!(
-            backward_untaints(InstClass::Invertible2, &[true, false], false),
-            [true, false]
-        );
+        assert_eq!(backward_untaints(InstClass::Invertible2, &[false, true], false), [false, true]);
+        assert_eq!(backward_untaints(InstClass::Invertible2, &[true, false], false), [true, false]);
         // Zero or two tainted: no inference.
         assert_eq!(
             backward_untaints(InstClass::Invertible2, &[false, false], false),
             [false, false]
         );
-        assert_eq!(
-            backward_untaints(InstClass::Invertible2, &[true, true], false),
-            [false, false]
-        );
+        assert_eq!(backward_untaints(InstClass::Invertible2, &[true, true], false), [false, false]);
     }
 
     #[test]

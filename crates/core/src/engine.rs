@@ -230,20 +230,12 @@ impl TaintEngine {
     /// predicates, jump targets) is locally public.
     pub fn leak_operands_clear(&self, seq: Seq) -> bool {
         let Some(slot) = self.slots.get(&seq) else { return true };
-        slot.srcs
-            .iter()
-            .flatten()
-            .all(|(r, role)| !role.leaks_at_vp() || r.taint.is_clear())
+        slot.srcs.iter().flatten().all(|(r, role)| !role.leaks_at_vp() || r.taint.is_clear())
     }
 
     /// The slot-local taint mask of source operand `idx`, if present.
     pub fn operand_mask(&self, seq: Seq, idx: usize) -> Option<TaintMask> {
-        self.slots
-            .get(&seq)?
-            .srcs
-            .get(idx)?
-            .as_ref()
-            .map(|(r, _)| r.taint)
+        self.slots.get(&seq)?.srcs.get(idx)?.as_ref().map(|(r, _)| r.taint)
     }
 
     /// The slot-local taint mask of the destination, if present.
@@ -267,11 +259,8 @@ impl TaintEngine {
         if is_cf && !branches {
             return;
         }
-        let kind = if is_cf {
-            UntaintKind::DeclassifyBranch
-        } else {
-            UntaintKind::DeclassifyTransmit
-        };
+        let kind =
+            if is_cf { UntaintKind::DeclassifyBranch } else { UntaintKind::DeclassifyTransmit };
         let mut changed = false;
         for src in slot.srcs.iter_mut().flatten() {
             if src.1.leaks_at_vp() {
@@ -388,7 +377,7 @@ impl TaintEngine {
                 }
             }
             if bwd {
-                let dest_tainted = slot.dest.as_ref().map_or(true, |d| d.taint.any());
+                let dest_tainted = slot.dest.as_ref().is_none_or(|d| d.taint.any());
                 // Backward rules need a register destination whose value the
                 // attacker can read; instructions without one don't apply.
                 if slot.dest.is_some() && !dest_tainted {
@@ -411,10 +400,11 @@ impl TaintEngine {
         let mut chosen: Vec<(PhysReg, UntaintKind)> = Vec::new();
         let mut deferred = 0u64;
 
-        let consider = |phys: PhysReg, kind: UntaintKind,
-                            chosen: &mut Vec<(PhysReg, UntaintKind)>,
-                            reg_taint: &[TaintMask],
-                            deferred: &mut u64| {
+        let consider = |phys: PhysReg,
+                        kind: UntaintKind,
+                        chosen: &mut Vec<(PhysReg, UntaintKind)>,
+                        reg_taint: &[TaintMask],
+                        deferred: &mut u64| {
             if reg_taint[phys as usize].is_clear() {
                 return; // already public globally; nothing to broadcast
             }
@@ -540,7 +530,12 @@ mod tests {
         engine(Config::spt_full(ThreatModel::Futuristic))
     }
 
-    fn ri(seq: Seq, class: InstClass, srcs: &[(PhysReg, spt_isa::OperandRole)], dest: Option<PhysReg>) -> RenameInfo {
+    fn ri(
+        seq: Seq,
+        class: InstClass,
+        srcs: &[(PhysReg, spt_isa::OperandRole)],
+        dest: Option<PhysReg>,
+    ) -> RenameInfo {
         let mut s: [Option<(PhysReg, spt_isa::OperandRole)>; 3] = [None, None, None];
         for (i, &x) in srcs.iter().enumerate() {
             s[i] = Some(x);
@@ -568,7 +563,7 @@ mod tests {
     fn rename_propagates_source_taint() {
         let mut e = full();
         e.rename(ri(1, InstClass::Const, &[], Some(1))); // r1 public
-        // r2 = r1 + r3 where r3 (phys 3) is still tainted.
+                                                         // r2 = r1 + r3 where r3 (phys 3) is still tainted.
         let t = e.rename(ri(2, InstClass::Invertible2, &[(1, Data), (3, Data)], Some(2)));
         assert!(t.any());
         // r4 = r1 + r1: all public.

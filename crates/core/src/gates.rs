@@ -95,9 +95,9 @@ pub fn forward_taint(kind: GateKind, a: Wire, b: Wire) -> bool {
         // One tainted input: the output is public iff the public input
         // forces the gate's value.
         (true, false) => match kind {
-            GateKind::And => b.value,  // public 0 forces output 0
-            GateKind::Or => !b.value,  // public 1 forces output 1
-            GateKind::Xor => true,     // xor never forces
+            GateKind::And => b.value, // public 0 forces output 0
+            GateKind::Or => !b.value, // public 1 forces output 1
+            GateKind::Xor => true,    // xor never forces
         },
         (false, true) => match kind {
             GateKind::And => a.value,
@@ -233,10 +233,8 @@ impl Circuit {
         for g in &self.gates {
             let a = self.wires[g.inputs[0]];
             let b = self.wires[g.inputs[1]];
-            let w = Wire {
-                value: g.kind.eval(a.value, b.value),
-                tainted: forward_taint(g.kind, a, b),
-            };
+            let w =
+                Wire { value: g.kind.eval(a.value, b.value), tainted: forward_taint(g.kind, a, b) };
             self.wires.insert(g.output, w);
         }
     }

@@ -58,8 +58,8 @@
 
 pub mod algebra;
 pub mod config;
-pub mod gates;
 pub mod engine;
+pub mod gates;
 pub mod shadow;
 pub mod stats;
 pub mod stl;

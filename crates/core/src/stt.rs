@@ -58,11 +58,7 @@ impl SttTracker {
     /// Registers a non-load instruction at rename: the destination inherits
     /// the youngest root among the sources.
     pub fn rename_alu(&mut self, srcs: &[Option<PhysReg>], dest: Option<PhysReg>) {
-        let y = srcs
-            .iter()
-            .flatten()
-            .filter_map(|&p| self.yrot[p as usize])
-            .max();
+        let y = srcs.iter().flatten().filter_map(|&p| self.yrot[p as usize]).max();
         if let Some(d) = dest {
             self.yrot[d as usize] = y;
         }

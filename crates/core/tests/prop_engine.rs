@@ -28,8 +28,11 @@ fn event_strategy() -> impl Strategy<Value = Event> {
             .prop_map(|(invertible, s1, s2, d)| Event::RenameAlu { invertible, s1, s2, d }),
         (any::<u8>(), any::<u8>()).prop_map(|(s, d)| Event::RenameCopy { s, d }),
         any::<u8>().prop_map(|d| Event::RenameConst { d }),
-        (any::<u8>(), any::<u8>(), any::<u8>())
-            .prop_map(|(addr, d, bytes)| Event::RenameLoad { addr, d, bytes }),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(addr, d, bytes)| Event::RenameLoad {
+            addr,
+            d,
+            bytes
+        }),
         any::<u8>().prop_map(|which| Event::DeclassifyVp { which }),
         any::<u8>().prop_map(|which| Event::LoadPublic { which }),
         any::<u8>().prop_map(|which| Event::Retire { which }),
@@ -129,11 +132,7 @@ impl Harness {
                 self.engine.rename(RenameInfo {
                     seq,
                     class,
-                    srcs: [
-                        Some((p1, OperandRole::Data)),
-                        Some((p2, OperandRole::Data)),
-                        None,
-                    ],
+                    srcs: [Some((p1, OperandRole::Data)), Some((p2, OperandRole::Data)), None],
                     dest: Some(dest),
                     load_bytes: None,
                 });

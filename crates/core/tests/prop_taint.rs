@@ -90,14 +90,8 @@ proptest! {
         for &(seq, dest) in &roots {
             stt.rename_load(seq, dest);
         }
-        let mut next_dest = 8u32;
         let mut records: Vec<(u32, u32, u32)> = Vec::new();
-        for &(s1, s2, _) in &ops {
-            if next_dest >= 31 {
-                break;
-            }
-            let d = next_dest;
-            next_dest += 1;
+        for (d, &(s1, s2, _)) in (8u32..31).zip(ops.iter()) {
             stt.rename_alu(&[Some(s1), Some(s2)], Some(d));
             records.push((d, s1, s2));
         }

@@ -107,11 +107,9 @@ impl Frontend {
                     info: Some(info),
                 }
             }
-            Inst::Jump { target } => FetchPrediction {
-                next_pc: target as u64,
-                predicted_taken: true,
-                info: None,
-            },
+            Inst::Jump { target } => {
+                FetchPrediction { next_pc: target as u64, predicted_taken: true, info: None }
+            }
             Inst::Call { target, .. } => {
                 self.ras.push(pc + 1);
                 FetchPrediction { next_pc: target as u64, predicted_taken: true, info: None }

@@ -30,7 +30,7 @@ pub struct PredictInfo {
 #[derive(Clone, Copy, Debug, Default)]
 struct TaggedEntry {
     tag: u16,
-    ctr: i8, // 3-bit signed: -4..=3
+    ctr: i8,    // 3-bit signed: -4..=3
     useful: u8, // 2-bit
 }
 
@@ -116,10 +116,7 @@ impl Tage {
                 }
             }
         }
-        (
-            pred,
-            PredictInfo { pred, provider, altpred, alt_is_tagged, indices, tags, bim_idx },
-        )
+        (pred, PredictInfo { pred, provider, altpred, alt_is_tagged, indices, tags, bim_idx })
     }
 
     fn bump_ctr(ctr: &mut i8, taken: bool) {
@@ -134,7 +131,7 @@ impl Tage {
     pub fn update(&mut self, _pc: u64, info: &PredictInfo, taken: bool) {
         self.updates += 1;
         // Periodic graceful decay of usefulness counters.
-        if self.updates % Self::U_DECAY_PERIOD == 0 {
+        if self.updates.is_multiple_of(Self::U_DECAY_PERIOD) {
             for table in &mut self.tables {
                 for e in table.iter_mut() {
                     e.useful >>= 1;
@@ -248,10 +245,7 @@ mod tests {
     fn learns_long_history_pattern() {
         // Period-24: needs a tagged component with history > 16.
         let m = run_pattern(0x48, 20_000, |i| (i % 24) < 12);
-        assert!(
-            m < 2_000,
-            "period-24 pattern should be learned by long-history tables, got {m}"
-        );
+        assert!(m < 2_000, "period-24 pattern should be learned by long-history tables, got {m}");
     }
 
     #[test]

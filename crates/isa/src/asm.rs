@@ -112,10 +112,8 @@ impl Assembler {
             return Err(e);
         }
         for (name, fixup) in std::mem::take(&mut self.fixups) {
-            let target = *self
-                .labels
-                .get(&name)
-                .ok_or_else(|| AsmError::UndefinedLabel(name.clone()))?;
+            let target =
+                *self.labels.get(&name).ok_or_else(|| AsmError::UndefinedLabel(name.clone()))?;
             match fixup {
                 Fixup::Branch(i) => {
                     if let Inst::Branch { target: t, .. } = &mut self.insts[i] {

@@ -323,12 +323,7 @@ pub fn decode(word: u64) -> Result<Inst, CodecError> {
             offset: f.imm,
             size: size_from(f.size),
         },
-        op::BRANCH => Inst::Branch {
-            cond: cond_from(f.subop)?,
-            rs1,
-            rs2,
-            target: f.imm as u32,
-        },
+        op::BRANCH => Inst::Branch { cond: cond_from(f.subop)?, rs1, rs2, target: f.imm as u32 },
         op::JUMP => Inst::Jump { target: f.imm as u32 },
         op::JUMPIND => Inst::JumpInd { base: rs1 },
         op::CALL => Inst::Call { target: f.imm as u32, link: rd },
@@ -374,10 +369,38 @@ mod tests {
             roundtrip(Inst::AluImm { op: opc, rd: Reg::R3, rs1: Reg::R4, imm: 1234 });
         }
         for size in [MemSize::B1, MemSize::B2, MemSize::B4, MemSize::B8] {
-            roundtrip(Inst::Load { rd: Reg::R7, base: Reg::R8, index: Reg::R0, scale: 0, offset: -64, size });
-            roundtrip(Inst::Store { src: Reg::R7, base: Reg::R8, index: Reg::R0, scale: 0, offset: 4096, size });
-            roundtrip(Inst::Load { rd: Reg::R7, base: Reg::R8, index: Reg::R9, scale: 3, offset: 16, size });
-            roundtrip(Inst::Store { src: Reg::R7, base: Reg::R8, index: Reg::R10, scale: 1, offset: -8, size });
+            roundtrip(Inst::Load {
+                rd: Reg::R7,
+                base: Reg::R8,
+                index: Reg::R0,
+                scale: 0,
+                offset: -64,
+                size,
+            });
+            roundtrip(Inst::Store {
+                src: Reg::R7,
+                base: Reg::R8,
+                index: Reg::R0,
+                scale: 0,
+                offset: 4096,
+                size,
+            });
+            roundtrip(Inst::Load {
+                rd: Reg::R7,
+                base: Reg::R8,
+                index: Reg::R9,
+                scale: 3,
+                offset: 16,
+                size,
+            });
+            roundtrip(Inst::Store {
+                src: Reg::R7,
+                base: Reg::R8,
+                index: Reg::R10,
+                scale: 1,
+                offset: -8,
+                size,
+            });
         }
         for cond in [
             BranchCond::Eq,

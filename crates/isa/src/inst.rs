@@ -68,20 +68,8 @@ impl AluOp {
             AluOp::Sltu => (lhs < rhs) as u64,
             AluOp::Seq => (lhs == rhs) as u64,
             AluOp::Sne => (lhs != rhs) as u64,
-            AluOp::Div => {
-                if rhs == 0 {
-                    u64::MAX
-                } else {
-                    lhs / rhs
-                }
-            }
-            AluOp::Rem => {
-                if rhs == 0 {
-                    lhs
-                } else {
-                    lhs % rhs
-                }
-            }
+            AluOp::Div => lhs.checked_div(rhs).unwrap_or(u64::MAX),
+            AluOp::Rem => lhs.checked_rem(rhs).unwrap_or(lhs),
         }
     }
 
@@ -382,9 +370,11 @@ impl Inst {
     pub fn sources(&self) -> Sources {
         use OperandRole::*;
         match *self {
-            Inst::Nop | Inst::Halt | Inst::MovImm { .. } | Inst::Jump { .. } | Inst::Call { .. } => {
-                Sources::none()
-            }
+            Inst::Nop
+            | Inst::Halt
+            | Inst::MovImm { .. }
+            | Inst::Jump { .. }
+            | Inst::Call { .. } => Sources::none(),
             Inst::Mov { rs, .. } => Sources::one((rs, Data)),
             Inst::Alu { op, rs1, rs2, .. } => {
                 let role = if op.is_variable_time() { VtOperand } else { Data };
@@ -571,13 +561,27 @@ mod tests {
     fn zero_register_dest_is_discarded() {
         let i = Inst::MovImm { rd: Reg::ZERO, imm: 4 };
         assert_eq!(i.dest(), None);
-        let i = Inst::Load { rd: Reg::ZERO, base: Reg::R1, index: Reg::R0, scale: 0, offset: 0, size: MemSize::B8 };
+        let i = Inst::Load {
+            rd: Reg::ZERO,
+            base: Reg::R1,
+            index: Reg::R0,
+            scale: 0,
+            offset: 0,
+            size: MemSize::B8,
+        };
         assert_eq!(i.dest(), None);
     }
 
     #[test]
     fn store_sources_and_roles() {
-        let st = Inst::Store { src: Reg::R2, base: Reg::R3, index: Reg::R0, scale: 0, offset: 8, size: MemSize::B8 };
+        let st = Inst::Store {
+            src: Reg::R2,
+            base: Reg::R3,
+            index: Reg::R0,
+            scale: 0,
+            offset: 8,
+            size: MemSize::B8,
+        };
         let srcs: Vec<_> = st.sources().iter().collect();
         assert_eq!(srcs.len(), 2);
         assert_eq!(srcs[0], (Reg::R3, OperandRole::Address));
@@ -606,10 +610,24 @@ mod tests {
 
     #[test]
     fn transmitters_are_loads_and_stores_only() {
-        assert!(Inst::Load { rd: Reg::R1, base: Reg::R2, index: Reg::R0, scale: 0, offset: 0, size: MemSize::B8 }
-            .is_transmitter());
-        assert!(Inst::Store { src: Reg::R1, base: Reg::R2, index: Reg::R0, scale: 0, offset: 0, size: MemSize::B8 }
-            .is_transmitter());
+        assert!(Inst::Load {
+            rd: Reg::R1,
+            base: Reg::R2,
+            index: Reg::R0,
+            scale: 0,
+            offset: 0,
+            size: MemSize::B8
+        }
+        .is_transmitter());
+        assert!(Inst::Store {
+            src: Reg::R1,
+            base: Reg::R2,
+            index: Reg::R0,
+            scale: 0,
+            offset: 0,
+            size: MemSize::B8
+        }
+        .is_transmitter());
         assert!(!Inst::Branch { cond: BranchCond::Eq, rs1: Reg::R1, rs2: Reg::R2, target: 0 }
             .is_transmitter());
         assert!(!Inst::Nop.is_transmitter());

@@ -270,11 +270,8 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
             Some((m, a)) => (m.to_ascii_lowercase(), a.trim()),
             None => (rest.to_ascii_lowercase(), ""),
         };
-        let ops: Vec<&str> = if args.is_empty() {
-            Vec::new()
-        } else {
-            args.split(',').map(str::trim).collect()
-        };
+        let ops: Vec<&str> =
+            if args.is_empty() { Vec::new() } else { args.split(',').map(str::trim).collect() };
         let need = |n: usize| -> Result<(), ParseError> {
             if ops.len() == n {
                 Ok(())
@@ -421,10 +418,7 @@ mod tests {
 
     #[test]
     fn parses_basic_program() {
-        let p = parse_program(
-            "movi r1, 10\n add r2, r2, r1\n subi r1, r1, 1\n halt",
-        )
-        .unwrap();
+        let p = parse_program("movi r1, 10\n add r2, r2, r1\n subi r1, r1, 1\n halt").unwrap();
         assert_eq!(p.len(), 4);
         assert_eq!(p.fetch(3), Some(Inst::Halt));
     }
@@ -522,8 +516,8 @@ mod tests {
         let original = a.assemble().unwrap();
 
         let text = original.to_string();
-        let reparsed = parse_program(&text)
-            .unwrap_or_else(|e| panic!("could not re-parse:\n{text}\n{e}"));
+        let reparsed =
+            parse_program(&text).unwrap_or_else(|e| panic!("could not re-parse:\n{text}\n{e}"));
         assert_eq!(reparsed.insts(), original.insts());
     }
 

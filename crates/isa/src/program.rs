@@ -110,10 +110,8 @@ mod tests {
     fn display_contains_labels() {
         let mut labels = BTreeMap::new();
         labels.insert("loop".to_string(), 1u32);
-        let p = Program::with_labels(
-            vec![Inst::MovImm { rd: Reg::R1, imm: 0 }, Inst::Halt],
-            labels,
-        );
+        let p =
+            Program::with_labels(vec![Inst::MovImm { rd: Reg::R1, imm: 0 }, Inst::Halt], labels);
         let s = p.to_string();
         assert!(s.contains("loop:"));
         assert!(s.contains("halt"));

@@ -66,15 +66,16 @@ fn inst_strategy() -> impl Strategy<Value = Inst> {
                 offset,
                 size
             }),
-        (reg_strategy(), reg_strategy(), reg_strategy(), 0u8..4, imm, size_strategy())
-            .prop_map(|(src, base, index, scale, offset, size)| Inst::Store {
+        (reg_strategy(), reg_strategy(), reg_strategy(), 0u8..4, imm, size_strategy()).prop_map(
+            |(src, base, index, scale, offset, size)| Inst::Store {
                 src,
                 base,
                 index,
                 scale,
                 offset,
                 size
-            }),
+            }
+        ),
         (cond_strategy(), reg_strategy(), reg_strategy(), any::<u32>())
             .prop_map(|(cond, rs1, rs2, target)| Inst::Branch { cond, rs1, rs2, target }),
         any::<u32>().prop_map(|target| Inst::Jump { target }),

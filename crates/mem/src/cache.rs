@@ -25,7 +25,7 @@ impl CacheGeometry {
         assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
         let per_way = self.size_bytes / self.assoc;
         assert!(
-            per_way % self.line_bytes == 0 && per_way > 0,
+            per_way.is_multiple_of(self.line_bytes) && per_way > 0,
             "inconsistent cache geometry {self:?}"
         );
         per_way / self.line_bytes
@@ -253,16 +253,13 @@ impl Cache {
         let mut events = Vec::new();
         let set = &mut self.sets[set_idx];
         // Prefer an invalid way; otherwise evict LRU.
-        let victim = set
-            .iter()
-            .position(|l| !l.valid)
-            .unwrap_or_else(|| {
-                set.iter()
-                    .enumerate()
-                    .min_by_key(|(_, l)| l.lru)
-                    .map(|(i, _)| i)
-                    .expect("cache set cannot be empty")
-            });
+        let victim = set.iter().position(|l| !l.valid).unwrap_or_else(|| {
+            set.iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .map(|(i, _)| i)
+                .expect("cache set cannot be empty")
+        });
         let v = &mut set[victim];
         if v.valid {
             let victim_addr = (v.tag * sets + set_idx as u64) * line_bytes;

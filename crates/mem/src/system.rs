@@ -190,7 +190,12 @@ impl MemSystem {
     /// # Errors
     ///
     /// Returns [`Busy`] if the access misses L1 and no L1 MSHR is free.
-    pub fn access_timed(&mut self, addr: u64, now: u64, write: bool) -> Result<AccessOutcome, Busy> {
+    pub fn access_timed(
+        &mut self,
+        addr: u64,
+        now: u64,
+        write: bool,
+    ) -> Result<AccessOutcome, Busy> {
         // Coalesce with an in-flight miss on the same line: the access
         // completes when the outstanding fill does.
         if let Some(ready_at) = self.l1.outstanding_miss(addr) {
@@ -208,7 +213,11 @@ impl MemSystem {
 
         let mut latency = self.l1.hit_latency();
         if self.l1.lookup(addr, write) {
-            return Ok(AccessOutcome { done_at: now + latency, served_by: Level::L1, l1_events: Vec::new() });
+            return Ok(AccessOutcome {
+                done_at: now + latency,
+                served_by: Level::L1,
+                l1_events: Vec::new(),
+            });
         }
 
         // L1 miss: need an MSHR.
@@ -247,7 +256,12 @@ impl MemSystem {
     /// # Panics
     ///
     /// Panics if `size > 8`.
-    pub fn read_timed(&mut self, addr: u64, size: u64, now: u64) -> Result<(u64, AccessOutcome), Busy> {
+    pub fn read_timed(
+        &mut self,
+        addr: u64,
+        size: u64,
+        now: u64,
+    ) -> Result<(u64, AccessOutcome), Busy> {
         let outcome = self.access_timed(addr, now, false)?;
         Ok((self.store.read(addr, size), outcome))
     }

@@ -49,7 +49,7 @@ impl Tlb {
     /// Panics if `entries` is not a positive multiple of `assoc` with a
     /// power-of-two set count.
     pub fn new(entries: usize, assoc: usize, walk_latency: u64) -> Tlb {
-        assert!(assoc > 0 && entries % assoc == 0, "inconsistent TLB geometry");
+        assert!(assoc > 0 && entries.is_multiple_of(assoc), "inconsistent TLB geometry");
         let sets = entries / assoc;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         Tlb {
@@ -77,12 +77,9 @@ impl Tlb {
             }
         }
         self.misses += 1;
-        let victim = set
-            .iter()
-            .position(|e| !e.valid)
-            .unwrap_or_else(|| {
-                set.iter().enumerate().min_by_key(|(_, e)| e.lru).map(|(i, _)| i).expect("ways")
-            });
+        let victim = set.iter().position(|e| !e.valid).unwrap_or_else(|| {
+            set.iter().enumerate().min_by_key(|(_, e)| e.lru).map(|(i, _)| i).expect("ways")
+        });
         set[victim] = TlbEntry { valid: true, vpn, lru: tick };
         self.walk_latency
     }
@@ -123,7 +120,7 @@ mod tests {
     #[test]
     fn lru_eviction_within_set() {
         let mut t = Tlb::new(8, 2, 25); // 4 sets
-        // Pages mapping to the same set: vpn step = 4.
+                                        // Pages mapping to the same set: vpn step = 4.
         let page = |i: u64| i * 4 * Tlb::PAGE;
         t.translate(page(0));
         t.translate(page(1));

@@ -29,11 +29,11 @@
 
 use crate::config::CoreConfig;
 use crate::rename::RegisterFile;
-use crate::validate::SecurityValidator;
 use crate::rob::{ExecState, RobEntry};
 use crate::stats::{MachineStats, RunOutcome, SimError, StopReason};
+use crate::validate::SecurityValidator;
 use spt_core::{
-    Config, ProtectionKind, RenameInfo, Seq, ShadowTaint, SttTracker, StlCondition, TaintEngine,
+    Config, ProtectionKind, RenameInfo, Seq, ShadowTaint, StlCondition, SttTracker, TaintEngine,
     TaintMask, UntaintKind,
 };
 use spt_frontend::{Checkpoint, FetchPrediction, Frontend, PredictInfo};
@@ -371,6 +371,7 @@ impl Machine {
             if self.cycle - self.last_retire_cycle > WATCHDOG {
                 return Err(SimError::Deadlock {
                     cycle: self.cycle,
+                    retired: self.stats.retired,
                     head_pc: self.rob.front().map(|e| e.pc),
                 });
             }
@@ -538,7 +539,13 @@ impl Machine {
             }
             if head.inst.is_control_flow() {
                 let target = head.actual_next.unwrap_or(head.pred_next);
-                self.fe.train(head.pc, &head.inst, head.actual_taken, target, head.pred_info.as_ref());
+                self.fe.train(
+                    head.pc,
+                    &head.inst,
+                    head.actual_taken,
+                    target,
+                    head.pred_info.as_ref(),
+                );
                 if head.inst.is_cond_branch() {
                     self.stats.retired_branches += 1;
                 }
@@ -581,9 +588,7 @@ impl Machine {
             }
             if !matches!(self.prot.shadow, spt_core::ShadowMode::None) {
                 for &(phys, _) in &step.broadcasts {
-                    if let Some(pos) =
-                        self.retired_loads.iter().position(|r| r.phys == phys)
-                    {
+                    if let Some(pos) = self.retired_loads.iter().position(|r| r.phys == phys) {
                         let r = self.retired_loads.remove(pos).expect("position valid");
                         self.shadow.clear_range(r.addr, r.bytes);
                         if let Some(v) = self.validator.as_mut() {
@@ -641,11 +646,8 @@ impl Machine {
             // Rule ①: forward untaint of the load output from the store's
             // data operand. If the store already retired we can no longer
             // observe its data taint; stay conservative.
-            let data_idx = self
-                .rob
-                .iter()
-                .find(|s| s.seq == s_seq)
-                .and_then(|s| s.inst.store_data_src());
+            let data_idx =
+                self.rob.iter().find(|s| s.seq == s_seq).and_then(|s| s.inst.store_data_src());
             let Some(data_idx) = data_idx else { continue };
             if let Some(v) = self.validator.as_mut() {
                 v.on_stl_pair(l_seq, s_seq, data_idx);
@@ -762,23 +764,14 @@ impl Machine {
         match self.prot.kind {
             ProtectionKind::Unsafe => true,
             ProtectionKind::Spt => {
-                e.vp
-                    || self
-                        .engine
-                        .as_ref()
-                        .is_some_and(|eng| eng.leak_operands_clear(e.seq))
+                e.vp || self.engine.as_ref().is_some_and(|eng| eng.leak_operands_clear(e.seq))
             }
             ProtectionKind::Stt => {
                 e.vp || {
                     let stt = self.stt.as_ref().expect("stt tracker");
-                    e.inst
-                        .sources()
-                        .iter()
-                        .enumerate()
-                        .all(|(i, (_, role))| {
-                            !role.leaks_at_vp()
-                                || e.srcs[i].map_or(true, |p| !stt.tainted(p))
-                        })
+                    e.inst.sources().iter().enumerate().all(|(i, (_, role))| {
+                        !role.leaks_at_vp() || e.srcs[i].is_none_or(|p| !stt.tainted(p))
+                    })
                 }
             }
         }
@@ -829,18 +822,13 @@ impl Machine {
             let allowed = match self.prot.kind {
                 ProtectionKind::Unsafe => true,
                 ProtectionKind::Spt => {
-                    e.vp
-                        || self
-                            .engine
-                            .as_ref()
-                            .is_some_and(|eng| eng.leak_operands_clear(e.seq))
+                    e.vp || self.engine.as_ref().is_some_and(|eng| eng.leak_operands_clear(e.seq))
                 }
                 ProtectionKind::Stt => {
                     e.vp || {
                         let stt = self.stt.as_ref().expect("stt");
                         e.inst.sources().iter().enumerate().all(|(i, (_, role))| {
-                            !role.leaks_at_vp()
-                                || e.srcs[i].map_or(true, |p| !stt.tainted(p))
+                            !role.leaks_at_vp() || e.srcs[i].is_none_or(|p| !stt.tainted(p))
                         })
                     }
                 }
@@ -913,16 +901,12 @@ impl Machine {
         match self.prot.kind {
             ProtectionKind::Unsafe => true,
             ProtectionKind::Spt => {
-                e.vp
-                    || self
-                        .engine
-                        .as_ref()
-                        .is_some_and(|eng| eng.leak_operands_clear(e.seq))
+                e.vp || self.engine.as_ref().is_some_and(|eng| eng.leak_operands_clear(e.seq))
             }
             ProtectionKind::Stt => {
                 let stt = self.stt.as_ref().expect("stt tracker");
                 e.inst.sources().iter().enumerate().all(|(i, (_, role))| {
-                    !role.leaks_at_vp() || e.srcs[i].map_or(true, |p| !stt.tainted(p))
+                    !role.leaks_at_vp() || e.srcs[i].is_none_or(|p| !stt.tainted(p))
                 })
             }
         }
@@ -1072,7 +1056,8 @@ impl Machine {
             if RobEntry::range_covers(sa, s.mem.bytes, addr, bytes) {
                 // Full cover: forward the store's data.
                 let shifted = s.mem.value >> (8 * (addr - sa));
-                let masked = if bytes == 8 { shifted } else { shifted & ((1u64 << (8 * bytes)) - 1) };
+                let masked =
+                    if bytes == 8 { shifted } else { shifted & ((1u64 << (8 * bytes)) - 1) };
                 forward = Some((s.seq, masked));
                 break;
             }
@@ -1629,14 +1614,17 @@ mod tests {
     #[test]
     fn run_limits_stop_early() {
         let p = sum_program();
-        let mut m = Machine::new(p.clone(), CoreConfig::default(),
-                                 Config::unsafe_baseline(ThreatModel::Spectre));
+        let mut m = Machine::new(
+            p.clone(),
+            CoreConfig::default(),
+            Config::unsafe_baseline(ThreatModel::Spectre),
+        );
         let out = m.run(RunLimits::retired(50)).unwrap();
         assert_eq!(out.reason, StopReason::RetireBudget);
         assert!(out.retired >= 50);
 
-        let mut m = Machine::new(p, CoreConfig::default(),
-                                 Config::unsafe_baseline(ThreatModel::Spectre));
+        let mut m =
+            Machine::new(p, CoreConfig::default(), Config::unsafe_baseline(ThreatModel::Spectre));
         let out = m.run(RunLimits::cycles(10)).unwrap();
         assert_eq!(out.reason, StopReason::CycleBudget);
         assert_eq!(out.cycles, 10);
@@ -1655,8 +1643,8 @@ mod tests {
     #[test]
     fn spt_produces_untaint_events() {
         let p = sum_program();
-        let mut m = Machine::new(p, CoreConfig::default(),
-                                 Config::spt_full(ThreatModel::Futuristic));
+        let mut m =
+            Machine::new(p, CoreConfig::default(), Config::spt_full(ThreatModel::Futuristic));
         m.run(RunLimits::default()).unwrap();
         let s = m.stats();
         assert!(s.spt.events.total() > 0, "SPT must record untaint events");
@@ -1671,8 +1659,8 @@ mod tests {
         a.mov_imm(Reg::R1, 1);
         // A branch that is always taken but predicted not-taken initially.
         a.beq(Reg::R1, Reg::R0, "cold"); // never taken... predictor default is not-taken, so
-        // actually use the reverse: bne is taken; untrained predicts not-taken -> wrong path
-        // falls through into the transient load.
+                                         // actually use the reverse: bne is taken; untrained predicts not-taken -> wrong path
+                                         // falls through into the transient load.
         a.jmp("done");
         a.label("cold");
         a.nop();
@@ -1689,8 +1677,11 @@ mod tests {
         let p = b.assemble().unwrap();
         drop(a);
 
-        let mut m = Machine::new(p.clone(), CoreConfig::default(),
-                                 Config::unsafe_baseline(ThreatModel::Futuristic));
+        let mut m = Machine::new(
+            p.clone(),
+            CoreConfig::default(),
+            Config::unsafe_baseline(ThreatModel::Futuristic),
+        );
         m.run(RunLimits::default()).unwrap();
         assert_ne!(m.probe(0xA000), Level::Dram, "transient load must fill the cache");
         assert_eq!(m.reg(Reg::R3), 0, "the load was squashed architecturally");
@@ -1726,12 +1717,21 @@ mod tests {
             m.run(RunLimits::default()).unwrap();
             m.probe(leak_line)
         };
-        assert_ne!(run(Config::unsafe_baseline(ThreatModel::Futuristic)), Level::Dram,
-                   "unsafe baseline leaks");
-        assert_eq!(run(Config::spt_full(ThreatModel::Futuristic)), Level::Dram,
-                   "SPT blocks the transient transmitter");
-        assert_eq!(run(Config::spt_full(ThreatModel::Spectre)), Level::Dram,
-                   "SPT blocks under Spectre model too");
+        assert_ne!(
+            run(Config::unsafe_baseline(ThreatModel::Futuristic)),
+            Level::Dram,
+            "unsafe baseline leaks"
+        );
+        assert_eq!(
+            run(Config::spt_full(ThreatModel::Futuristic)),
+            Level::Dram,
+            "SPT blocks the transient transmitter"
+        );
+        assert_eq!(
+            run(Config::spt_full(ThreatModel::Spectre)),
+            Level::Dram,
+            "SPT blocks under Spectre model too"
+        );
         assert_eq!(run(Config::secure_baseline(ThreatModel::Futuristic)), Level::Dram);
     }
 }
@@ -1772,8 +1772,11 @@ mod memory_order_tests {
             assert_eq!(m.reg(Reg::R6), 99, "{cfg}: load must see the store's value");
         }
         // On the unprotected machine the speculation definitely happens.
-        let mut m = Machine::new(p, CoreConfig::default(),
-                                 Config::unsafe_baseline(ThreatModel::Futuristic));
+        let mut m = Machine::new(
+            p,
+            CoreConfig::default(),
+            Config::unsafe_baseline(ThreatModel::Futuristic),
+        );
         m.run(RunLimits::default()).unwrap();
         assert!(m.stats().mem_violations > 0, "violation must be detected");
         assert!(m.stats().squashes > 0, "violation must squash");
@@ -1851,8 +1854,11 @@ mod memory_order_tests {
         a.jr(Reg::R2); // untrained BTB predicts fall-through
         a.halt();
         let p = a.assemble().unwrap();
-        let mut m = Machine::new(p, CoreConfig::default(),
-                                 Config::unsafe_baseline(ThreatModel::Futuristic));
+        let mut m = Machine::new(
+            p,
+            CoreConfig::default(),
+            Config::unsafe_baseline(ThreatModel::Futuristic),
+        );
         // The actual target is the halt instruction (pc 3).
         m.mem_mut().store().write(0x9000, 3, 8);
         let out = m.run(RunLimits::default()).unwrap();
@@ -1947,11 +1953,8 @@ mod vp_tests {
     }
 
     fn cycles(threat: ThreatModel) -> u64 {
-        let mut m = Machine::new(
-            vp_program(),
-            CoreConfig::default(),
-            Config::secure_baseline(threat),
-        );
+        let mut m =
+            Machine::new(vp_program(), CoreConfig::default(), Config::secure_baseline(threat));
         m.run(RunLimits::default()).unwrap().cycles
     }
 
@@ -2004,8 +2007,8 @@ mod vp_tests {
         a.blt(Reg::R1, Reg::R2, "spin");
         a.halt();
         let p = a.assemble().unwrap();
-        let mut m = Machine::new(p, CoreConfig::default(),
-                                 Config::unsafe_baseline(ThreatModel::Spectre));
+        let mut m =
+            Machine::new(p, CoreConfig::default(), Config::unsafe_baseline(ThreatModel::Spectre));
         let out = m.run(RunLimits::default()).unwrap();
         // The loop spans one or two I-lines: a couple of cold misses, then
         // pure hits — fetch must not bottleneck the loop.
@@ -2055,8 +2058,11 @@ mod structural_tests {
         }
         a.halt();
         let p = a.assemble().unwrap();
-        let mut m = Machine::new(p, CoreConfig::default(),
-                                 Config::unsafe_baseline(ThreatModel::Futuristic));
+        let mut m = Machine::new(
+            p,
+            CoreConfig::default(),
+            Config::unsafe_baseline(ThreatModel::Futuristic),
+        );
         for k in 0..40u64 {
             m.mem_mut().store().write(0x10000 + 4096 * k, k + 1, 8);
         }
@@ -2097,7 +2103,15 @@ mod structural_tests {
             .collect();
         let expected: u64 = vals
             .iter()
-            .map(|&v| if v == 0 { 0 } else if v & 2 == 0 { 1 } else { 11 })
+            .map(|&v| {
+                if v == 0 {
+                    0
+                } else if v & 2 == 0 {
+                    1
+                } else {
+                    11
+                }
+            })
             .sum();
 
         for cfg in [
@@ -2134,8 +2148,8 @@ mod structural_tests {
         a.blt(Reg::R30, Reg::R31, "loop");
         a.halt();
         let p = a.assemble().unwrap();
-        let mut m = Machine::new(p, CoreConfig::default(),
-                                 Config::spt_full(ThreatModel::Futuristic));
+        let mut m =
+            Machine::new(p, CoreConfig::default(), Config::spt_full(ThreatModel::Futuristic));
         m.run(RunLimits::default()).unwrap();
         for r in 1..30u64 {
             assert_eq!(m.reg(Reg::from_index(r as usize)), r + 50);

@@ -85,6 +85,8 @@ pub enum SimError {
     Deadlock {
         /// Cycle at which the watchdog fired.
         cycle: u64,
+        /// Instructions retired before the machine wedged.
+        retired: u64,
         /// PC of the reorder-buffer head, if any.
         head_pc: Option<u64>,
     },
@@ -93,8 +95,12 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::Deadlock { cycle, head_pc } => {
-                write!(f, "pipeline deadlock at cycle {cycle} (head pc {head_pc:?})")
+            SimError::Deadlock { cycle, retired, head_pc } => {
+                write!(
+                    f,
+                    "pipeline deadlock at cycle {cycle} after {retired} retired \
+                     (head pc {head_pc:?})"
+                )
             }
         }
     }
@@ -127,7 +133,9 @@ mod tests {
 
     #[test]
     fn sim_error_display() {
-        let e = SimError::Deadlock { cycle: 10, head_pc: Some(3) };
-        assert!(e.to_string().contains("deadlock"));
+        let e = SimError::Deadlock { cycle: 10, retired: 7, head_pc: Some(3) };
+        let text = e.to_string();
+        assert!(text.contains("deadlock"));
+        assert!(text.contains("7 retired"));
     }
 }

@@ -431,9 +431,9 @@ impl SecurityValidator {
                     )),
                 }
             }
-            Check::Broadcast { producer, kind, phys } => self
-                .check_broadcast(producer, kind, value_of)
-                .map_err(|e| format!("{e} (p{phys})")),
+            Check::Broadcast { producer, kind, phys } => {
+                self.check_broadcast(producer, kind, value_of).map_err(|e| format!("{e} (p{phys})"))
+            }
         }
     }
 
@@ -466,16 +466,15 @@ impl SecurityValidator {
         };
         let accept = |v: u64| -> Result<Option<(Seq, Known)>, String> {
             match actual {
-                Some(a) if a != v => Err(format!(
-                    "{kind} seq {producer}: derived {v:#x} != actual {a:#x}"
-                )),
+                Some(a) if a != v => {
+                    Err(format!("{kind} seq {producer}: derived {v:#x} != actual {a:#x}"))
+                }
                 _ => Ok(Some((producer, Known::full(v)))),
             }
         };
 
         match kind {
-            UntaintKind::LoadImm => match Self::eval_inst(&rec.inst, rec.pc, &[None, None, None])
-            {
+            UntaintKind::LoadImm => match Self::eval_inst(&rec.inst, rec.pc, &[None, None, None]) {
                 Some(v) => accept(v),
                 None => Err(format!("load-imm seq {producer}: {} is not a constant", rec.inst)),
             },
@@ -492,10 +491,7 @@ impl SecurityValidator {
                         })
                 });
                 if justified {
-                    Ok(Some((
-                        producer,
-                        actual.map(Known::full).unwrap_or_default(),
-                    )))
+                    Ok(Some((producer, actual.map(Known::full).unwrap_or_default())))
                 } else {
                     Err(format!(
                         "declassify seq {producer}: not an operand of any transmitter/branch"
@@ -520,14 +516,12 @@ impl SecurityValidator {
                         continue;
                     };
                     for i in 0..3 {
-                        if !consumer.srcs[i].is_some_and(|s| s.producer == Some(producer)) {
+                        if consumer.srcs[i].is_none_or(|s| s.producer != Some(producer)) {
                             continue;
                         }
                         let src_vals = self.src_vals(consumer);
-                        if let Some(v) =
-                            Self::invert_inst(&consumer.inst, dest_val, &src_vals, i)
-                        {
-                            if actual.map_or(true, |a| a == v) {
+                        if let Some(v) = Self::invert_inst(&consumer.inst, dest_val, &src_vals, i) {
+                            if actual.is_none_or(|a| a == v) {
                                 return Ok(Some((producer, Known::full(v))));
                             }
                         }
@@ -556,7 +550,7 @@ impl SecurityValidator {
                     };
                     let masked =
                         if bytes == 8 { shifted } else { shifted & ((1u64 << (8 * bytes)) - 1) };
-                    if actual.map_or(true, |a| a == masked) {
+                    if actual.is_none_or(|a| a == masked) {
                         return Ok(Some((producer, Known::full(masked))));
                     }
                 }
@@ -598,9 +592,7 @@ impl SecurityValidator {
                         for b in 0..sbytes {
                             mask |= 1 << b;
                         }
-                        if actual.map_or(true, |a| {
-                            sbytes == 8 && a == v || sbytes < 8
-                        }) {
+                        if actual.is_none_or(|a| sbytes == 8 && a == v || sbytes < 8) {
                             return Ok(Some((producer, Known { value: v, mask })));
                         }
                     }
@@ -691,10 +683,7 @@ impl SecurityValidator {
             return format!("{indent}seq {seq}: <not recorded>\n");
         };
         let k = self.known.get(&seq);
-        out.push_str(&format!(
-            "{indent}seq {seq}: {} @pc{} known={:?}\n",
-            rec.inst, rec.pc, k
-        ));
+        out.push_str(&format!("{indent}seq {seq}: {} @pc{} known={:?}\n", rec.inst, rec.pc, k));
         if depth < 6 {
             for s in rec.srcs.iter().flatten() {
                 match s.producer {
@@ -841,11 +830,25 @@ mod tests {
     fn shadow_requires_known_memory() {
         let mut v = SecurityValidator::new();
         // A store of a known value makes the bytes known.
-        v.on_rename(1, 0, Inst::MovImm { rd: Reg::R2, imm: 0xab }, [None, None, None], Some(2), true);
+        v.on_rename(
+            1,
+            0,
+            Inst::MovImm { rd: Reg::R2, imm: 0xab },
+            [None, None, None],
+            Some(2),
+            true,
+        );
         v.on_rename(
             2,
             1,
-            Inst::Store { src: Reg::R2, base: Reg::R3, index: Reg::R0, scale: 0, offset: 0, size: MemSize::B8 },
+            Inst::Store {
+                src: Reg::R2,
+                base: Reg::R3,
+                index: Reg::R0,
+                scale: 0,
+                offset: 0,
+                size: MemSize::B8,
+            },
             [Some(3), Some(2), None],
             None,
             false,

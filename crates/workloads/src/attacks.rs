@@ -121,7 +121,8 @@ pub fn spectre_v1() -> Attack {
         workload: Workload {
             name: "spectre_v1",
             category: crate::Category::ConstantTime,
-            description: "bounds-check bypass: transient out-of-bounds read into a cache transmitter",
+            description:
+                "bounds-check bypass: transient out-of-bounds read into a cache transmitter",
             program,
             mem_init,
             secret_ranges: vec![(A + OOB, 1)],
@@ -202,7 +203,8 @@ pub fn ct_secret() -> Attack {
         workload: Workload {
             name: "ct_secret",
             category: crate::Category::ConstantTime,
-            description: "non-speculative secret leak: mistrained indirect jump into a transmit gadget",
+            description:
+                "non-speculative secret leak: mistrained indirect jump into a transmit gadget",
             program,
             mem_init,
             secret_ranges: vec![(KEYARR + 8, 8)],
@@ -288,7 +290,8 @@ pub fn implicit_branch() -> Attack {
         workload: Workload {
             name: "implicit_branch",
             category: crate::Category::ConstantTime,
-            description: "resolution-based implicit channel: transient branch on a non-speculative secret",
+            description:
+                "resolution-based implicit channel: transient branch on a non-speculative secret",
             program,
             mem_init,
             secret_ranges: vec![(KEYARR + 8, 8)],
@@ -323,17 +326,17 @@ mod tests {
             i.enable_trace();
             i.run(100_000).unwrap();
             let leak = attack.leak_addr();
-            let touched = i
-                .trace()
-                .unwrap()
-                .iter()
-                .any(|e| {
-                    matches!(
-                        e.kind,
-                        spt_isa::interp::LeakKind::LoadAddr | spt_isa::interp::LeakKind::StoreAddr
-                    ) && e.value / 64 == leak / 64
-                });
-            assert!(!touched, "{}: architectural run must not touch the leak line", attack.workload.name);
+            let touched = i.trace().unwrap().iter().any(|e| {
+                matches!(
+                    e.kind,
+                    spt_isa::interp::LeakKind::LoadAddr | spt_isa::interp::LeakKind::StoreAddr
+                ) && e.value / 64 == leak / 64
+            });
+            assert!(
+                !touched,
+                "{}: architectural run must not touch the leak line",
+                attack.workload.name
+            );
         }
     }
 
@@ -349,7 +352,11 @@ mod tests {
                 .unwrap()
                 .iter()
                 .any(|e| e.kind == spt_isa::interp::LeakKind::LoadAddr && e.value == trained);
-            assert!(touched, "{}: training must touch the trained probe line", attack.workload.name);
+            assert!(
+                touched,
+                "{}: training must touch the trained probe line",
+                attack.workload.name
+            );
         }
     }
 

@@ -152,8 +152,7 @@ mod tests {
     fn every_test_scale_workload_halts_on_the_interpreter() {
         for w in full_suite(Scale::Test) {
             let mut i = w.interp();
-            i.run(3_000_000)
-                .unwrap_or_else(|e| panic!("workload {} did not halt: {e}", w.name));
+            i.run(3_000_000).unwrap_or_else(|e| panic!("workload {} did not halt: {e}", w.name));
             assert!(i.halted(), "{}", w.name);
         }
     }

@@ -34,10 +34,38 @@ use spt_isa::asm::Assembler;
 use spt_isa::Reg;
 
 const R: [Reg; 32] = [
-    Reg::R0, Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7, Reg::R8, Reg::R9,
-    Reg::R10, Reg::R11, Reg::R12, Reg::R13, Reg::R14, Reg::R15, Reg::R16, Reg::R17, Reg::R18,
-    Reg::R19, Reg::R20, Reg::R21, Reg::R22, Reg::R23, Reg::R24, Reg::R25, Reg::R26, Reg::R27,
-    Reg::R28, Reg::R29, Reg::R30, Reg::R31,
+    Reg::R0,
+    Reg::R1,
+    Reg::R2,
+    Reg::R3,
+    Reg::R4,
+    Reg::R5,
+    Reg::R6,
+    Reg::R7,
+    Reg::R8,
+    Reg::R9,
+    Reg::R10,
+    Reg::R11,
+    Reg::R12,
+    Reg::R13,
+    Reg::R14,
+    Reg::R15,
+    Reg::R16,
+    Reg::R17,
+    Reg::R18,
+    Reg::R19,
+    Reg::R20,
+    Reg::R21,
+    Reg::R22,
+    Reg::R23,
+    Reg::R24,
+    Reg::R25,
+    Reg::R26,
+    Reg::R27,
+    Reg::R28,
+    Reg::R29,
+    Reg::R30,
+    Reg::R31,
 ];
 
 fn rng_for(name: &str) -> SmallRng {
@@ -225,8 +253,8 @@ pub fn mcf(scale: Scale) -> Workload {
         a.addi(acc, acc, 1);
         a.label(&skip);
         a.ld(*reg, *reg, 0); // next arc (loaded -> address): the chase
-        // Reduced-cost bookkeeping: ALU work overlapping the chase, as in
-        // the real simplex pricing loop.
+                             // Reduced-cost bookkeeping: ALU work overlapping the chase, as in
+                             // the real simplex pricing loop.
         a.muli(cost, cost, 3);
         a.shri(cost, cost, 1);
         a.add(acc, acc, cost);
@@ -264,7 +292,8 @@ pub fn mcf(scale: Scale) -> Workload {
     Workload {
         name: "mcf",
         category: Category::SpecInt,
-        description: "network-simplex arc chasing: four parallel loaded-address chains, cache-hostile",
+        description:
+            "network-simplex arc chasing: four parallel loaded-address chains, cache-hostile",
         program: a.assemble().expect("mcf assembles"),
         mem_init,
         secret_ranges: vec![],
@@ -278,8 +307,7 @@ pub fn omnetpp(scale: Scale) -> Workload {
         Scale::Test => (255u64, 8u64),
         Scale::Bench => (65_535, 2_000_000), // 512 KiB heap
     };
-    let (i, n_r, child, vi, vc, t, it, nit) =
-        (R[1], R[2], R[3], R[4], R[5], R[6], R[7], R[8]);
+    let (i, n_r, child, vi, vc, t, it, nit) = (R[1], R[2], R[3], R[4], R[5], R[6], R[7], R[8]);
     let heap = R[11];
     let mut a = Assembler::new();
     a.mov_imm(heap, HEAP as i64);
@@ -496,7 +524,8 @@ pub fn deepsjeng(scale: Scale) -> Workload {
     Workload {
         name: "deepsjeng",
         category: Category::SpecInt,
-        description: "transposition-table probes: hashed addresses, hard-to-predict loaded branches",
+        description:
+            "transposition-table probes: hashed addresses, hard-to-predict loaded branches",
         program: a.assemble().expect("deepsjeng assembles"),
         mem_init,
         secret_ranges: vec![],
@@ -725,8 +754,7 @@ pub fn cactu(scale: Scale) -> Workload {
         Scale::Bench => (160, 20_000), // ~200 KiB grid
     };
     let n = dim * dim;
-    let (j, acc, v, lim, it, nit, grid, out) =
-        (R[1], R[2], R[3], R[5], R[6], R[7], R[8], R[9]);
+    let (j, acc, v, lim, it, nit, grid, out) = (R[1], R[2], R[3], R[5], R[6], R[7], R[8], R[9]);
     let mut a = Assembler::new();
     a.mov_imm(grid, GRID as i64);
     a.mov_imm(out, OUT as i64);
@@ -987,7 +1015,6 @@ pub fn fotonik(scale: Scale) -> Workload {
     }
 }
 
-
 /// `lbm`: lattice-Boltzmann fluid solver.
 pub fn lbm(scale: Scale) -> Workload {
     const DIST: u64 = 0x400_0000;
@@ -996,8 +1023,7 @@ pub fn lbm(scale: Scale) -> Workload {
         Scale::Test => (256u64, 2u64),
         Scale::Bench => (262_144, 100_000), // 2 MiB distributions
     };
-    let (j, acc, v, n_r, it, nit, dist, out) =
-        (R[1], R[2], R[3], R[4], R[5], R[6], R[7], R[8]);
+    let (j, acc, v, n_r, it, nit, dist, out) = (R[1], R[2], R[3], R[4], R[5], R[6], R[7], R[8]);
     let mut a = Assembler::new();
     a.mov_imm(dist, DIST as i64);
     a.mov_imm(out, OUT as i64);
@@ -1060,8 +1086,8 @@ pub fn wrf(scale: Scale) -> Workload {
     a.mov_imm(j, 0);
     a.label("col");
     a.ldx8(v, field, j); // field value (loaded)
-    // Saturation lookup: the table index derives from the loaded value —
-    // a loaded-data-to-address flow, declassified per access.
+                         // Saturation lookup: the table index derives from the loaded value —
+                         // a loaded-data-to-address flow, declassified per access.
     a.shri(idx, v, 6);
     a.andi(idx, idx, tmask);
     a.ldx8(t, table, idx);

@@ -36,11 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         attack.workload.apply_memory(m.mem_mut().store());
         m.run(RunLimits::default())?;
         let leaked = m.probe(attack.leak_addr()) != Level::Dram;
-        println!(
-            "{:<24} {:>10}",
-            format!("{config}"),
-            if leaked { "LEAKED" } else { "safe" }
-        );
+        println!("{:<24} {:>10}", format!("{config}"), if leaked { "LEAKED" } else { "safe" });
     }
     println!("\nSTT leaks here: the secret was accessed *non-speculatively*, outside");
     println!("its protection scope. SPT keeps it tainted because the program never");

@@ -58,12 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         let out = m.run(RunLimits::default())?;
         let b = *base.get_or_insert(out.cycles as f64);
-        println!(
-            "{:<26} {:>9} {:>9.2}x",
-            format!("{config}"),
-            out.cycles,
-            out.cycles as f64 / b
-        );
+        println!("{:<26} {:>9} {:>9.2}x", format!("{config}"), out.cycles, out.cycles as f64 / b);
     }
     println!("\nEdit the PROGRAM string and re-run to explore your own kernels.");
     Ok(())

@@ -67,8 +67,13 @@ fn main() {
     step_and_print(&mut e, "cycle 2"); // r1 backward (r1 = r0 - r2), r4 forward
     step_and_print(&mut e, "cycle 3");
 
-    println!("\nFinal taint: r0={} r1={} r2={} r4={}",
-        e.reg_taint(0), e.reg_taint(1), e.reg_taint(2), e.reg_taint(4));
+    println!(
+        "\nFinal taint: r0={} r1={} r2={} r4={}",
+        e.reg_taint(0),
+        e.reg_taint(1),
+        e.reg_taint(2),
+        e.reg_taint(4)
+    );
     println!("\nThe attacker, knowing the ROB contents (Property 1), computed");
     println!("r1 = r0 - r2 from two declassified values — so SPT stops protecting");
     println!("r1: it carries no information the attacker does not already have.");

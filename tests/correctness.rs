@@ -37,11 +37,7 @@ fn every_workload_matches_the_interpreter_under_every_config() {
                 let out = m
                     .run(RunLimits::default())
                     .unwrap_or_else(|e| panic!("{} under {config}: {e}", w.name));
-                assert_eq!(
-                    out.retired, ref_retired,
-                    "{} under {config}: retired count",
-                    w.name
-                );
+                assert_eq!(out.retired, ref_retired, "{} under {config}: retired count", w.name);
                 for (base, len) in output_ranges(&w) {
                     let got = m.mem().store_ref().read_bytes(base, len);
                     let want = ref_mem.read_bytes(base, len);
@@ -156,11 +152,8 @@ fn parsed_programs_run_identically_to_built_ones() {
     w.apply_memory(m1.mem_mut().store());
     let out1 = m1.run(RunLimits::default()).unwrap();
 
-    let mut m2 = Machine::new(
-        reparsed,
-        CoreConfig::default(),
-        Config::spt_full(ThreatModel::Futuristic),
-    );
+    let mut m2 =
+        Machine::new(reparsed, CoreConfig::default(), Config::spt_full(ThreatModel::Futuristic));
     w.apply_memory(m2.mem_mut().store());
     let out2 = m2.run(RunLimits::default()).unwrap();
     assert_eq!(out1.cycles, out2.cycles, "identical programs take identical cycles");

@@ -1,29 +1,68 @@
 //! Performance-shape assertions: the qualitative relationships the paper's
 //! evaluation (§9.2) establishes must hold in the reproduction —
 //! orderings and crossovers, not absolute numbers.
+//!
+//! Every simulation goes through a process-wide cycle cache keyed by
+//! (workload, config): the unsafe baseline for a given threat model is
+//! simulated once and shared by every comparison, and uncached cells are
+//! fanned out over the bench crate's worker pool instead of running
+//! serially.
 
+use spt_bench::runner::{default_jobs, run_indexed, run_workload};
 use spt_repro::core::{Config, ThreatModel};
-use spt_repro::ooo::{CoreConfig, Machine, RunLimits};
 use spt_repro::workloads::{ct_suite, full_suite, spec_suite, Scale, Workload};
+use std::collections::{HashMap, HashSet};
+use std::sync::{Mutex, OnceLock, PoisonError};
 
 // Smaller budget under debug builds keeps `cargo test --workspace` fast;
 // the qualitative relationships asserted here hold at either size (and the
 // full-budget numbers live in EXPERIMENTS.md).
 const BUDGET: u64 = if cfg!(debug_assertions) { 4_000 } else { 8_000 };
 
-fn cycles(w: &Workload, config: Config) -> u64 {
-    let mut m = Machine::new(w.program.clone(), CoreConfig::default(), config);
-    w.apply_memory(m.mem_mut().store());
-    m.run(RunLimits::retired(BUDGET))
-        .unwrap_or_else(|e| panic!("{} under {config}: {e}", w.name))
-        .cycles
+fn cache() -> &'static Mutex<HashMap<(&'static str, Config), u64>> {
+    static CACHE: OnceLock<Mutex<HashMap<(&'static str, Config), u64>>> = OnceLock::new();
+    CACHE.get_or_init(Mutex::default)
 }
 
-fn mean_normalized(suite: &[Workload], config: impl Fn(ThreatModel) -> Config, threat: ThreatModel) -> f64 {
+/// Cycle counts for a batch of (workload, config) cells. Cells not yet in
+/// the cache are simulated concurrently on the shared worker pool; repeat
+/// cells (notably each threat model's UnsafeBaseline) are simulated once
+/// per process however many comparisons use them.
+fn cycles_batch(pairs: &[(&Workload, Config)]) -> Vec<u64> {
+    let fresh: Vec<(&Workload, Config)> = {
+        let cached = cache().lock().unwrap_or_else(PoisonError::into_inner);
+        let mut seen = HashSet::new();
+        pairs
+            .iter()
+            .filter(|(w, cfg)| !cached.contains_key(&(w.name, *cfg)) && seen.insert((w.name, *cfg)))
+            .copied()
+            .collect()
+    };
+    let rows = run_indexed(fresh.len(), default_jobs(), |i| {
+        let (w, cfg) = fresh[i];
+        run_workload(w, cfg, BUDGET)
+    });
+    let mut cached = cache().lock().unwrap_or_else(PoisonError::into_inner);
+    for ((w, cfg), row) in fresh.iter().zip(rows) {
+        let row = row.unwrap_or_else(|e| panic!("simulation wedged: {e}"));
+        cached.insert((w.name, *cfg), row.cycles);
+    }
+    pairs.iter().map(|(w, cfg)| cached[&(w.name, *cfg)]).collect()
+}
+
+fn mean_normalized(
+    suite: &[Workload],
+    config: impl Fn(ThreatModel) -> Config,
+    threat: ThreatModel,
+) -> f64 {
+    let pairs: Vec<(&Workload, Config)> = suite
+        .iter()
+        .flat_map(|w| [(w, Config::unsafe_baseline(threat)), (w, config(threat))])
+        .collect();
+    let counts = cycles_batch(&pairs);
     let mut sum = 0.0;
-    for w in suite {
-        let base = cycles(w, Config::unsafe_baseline(threat)) as f64;
-        sum += cycles(w, config(threat)) as f64 / base;
+    for pair in counts.chunks_exact(2) {
+        sum += pair[1] as f64 / pair[0] as f64;
     }
     sum / suite.len() as f64
 }
@@ -36,10 +75,7 @@ fn spt_beats_secure_baseline_on_average() {
     for threat in [ThreatModel::Futuristic, ThreatModel::Spectre] {
         let secure = mean_normalized(&suite, Config::secure_baseline, threat);
         let spt = mean_normalized(&suite, Config::spt_full, threat);
-        assert!(
-            spt < secure,
-            "{threat}: SPT ({spt:.3}) must beat SecureBaseline ({secure:.3})"
-        );
+        assert!(spt < secure, "{threat}: SPT ({spt:.3}) must beat SecureBaseline ({secure:.3})");
         assert!(
             (secure - 1.0) / (spt - 1.0).max(0.01) > 2.0,
             "{threat}: overhead reduction should be substantial (paper: 3-3.6x)"
@@ -54,10 +90,7 @@ fn futuristic_costs_more_than_spectre() {
     let suite = spec_suite(Scale::Bench);
     let fut = mean_normalized(&suite, Config::spt_full, ThreatModel::Futuristic);
     let spe = mean_normalized(&suite, Config::spt_full, ThreatModel::Spectre);
-    assert!(
-        fut > spe,
-        "Futuristic ({fut:.3}) must cost more than Spectre ({spe:.3})"
-    );
+    assert!(fut > spe, "Futuristic ({fut:.3}) must cost more than Spectre ({spe:.3})");
 }
 
 #[test]
@@ -121,12 +154,30 @@ fn stt_is_cheaper_than_spt() {
 fn unsafe_baseline_is_the_fastest() {
     let suite = full_suite(Scale::Bench);
     let threat = ThreatModel::Futuristic;
-    for w in suite.iter().take(8) {
-        let base = cycles(w, Config::unsafe_baseline(threat));
-        for config in [Config::spt_full(threat), Config::secure_baseline(threat)] {
-            let c = cycles(w, config);
+    let pairs: Vec<(&Workload, Config)> = suite
+        .iter()
+        .take(8)
+        .flat_map(|w| {
+            [
+                (w, Config::unsafe_baseline(threat)),
+                (w, Config::spt_full(threat)),
+                (w, Config::secure_baseline(threat)),
+            ]
+        })
+        .collect();
+    let counts = cycles_batch(&pairs);
+    for (w, group) in suite.iter().zip(counts.chunks_exact(3)) {
+        let base = group[0];
+        for &c in &group[1..] {
+            // 10% relative slack, not a fixed cycle count: protection can
+            // legitimately run slightly *faster* than UnsafeBaseline on
+            // pointer-chasing workloads (e.g. deepsjeng), because the
+            // baseline's wrong-path loads of hashed addresses pollute the
+            // cache, while delaying those transmitters leaves the cache
+            // warm for the correct path. The paper's own Figure 7 shows
+            // sub-1.0 cells for the same reason.
             assert!(
-                c + BUDGET / 10 >= base,
+                c + base / 10 >= base,
                 "{}: protection can't be meaningfully faster than no protection ({c} vs {base})",
                 w.name
             );

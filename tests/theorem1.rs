@@ -11,8 +11,7 @@ fn validate(w: &Workload, config: Config, budget: u64) -> (u64, Vec<String>) {
     let mut m = Machine::new(w.program.clone(), CoreConfig::default(), config);
     w.apply_memory(m.mem_mut().store());
     m.enable_validation();
-    m.run(RunLimits::retired(budget))
-        .unwrap_or_else(|e| panic!("{} under {config}: {e}", w.name));
+    m.run(RunLimits::retired(budget)).unwrap_or_else(|e| panic!("{} under {config}: {e}", w.name));
     m.validation_report().expect("validator enabled")
 }
 
@@ -110,8 +109,5 @@ fn validator_catches_a_planted_unsound_untaint() {
     // Plant an unjustified "shadow says public" broadcast.
     v.on_broadcast(5, UntaintKind::ShadowL1);
     v.finish(|_| Some(0xdead_beef));
-    assert!(
-        !v.violations().is_empty(),
-        "the planted unsound untaint must be reported"
-    );
+    assert!(!v.violations().is_empty(), "the planted unsound untaint must be reported");
 }
