@@ -23,14 +23,17 @@ fn main() {
     let suite = bench_suite();
     for model in args.models {
         eprintln!(
-            "== Figure 7, {model} model (budget {} retired, {} jobs) ==",
-            args.opts.budget, args.opts.jobs
+            "== Figure 7, {model} model (budget {} retired, seed {}, {} jobs) ==",
+            args.opts.budget, args.seed, args.opts.jobs
         );
         let m = suite_matrix(model, &suite, args.opts).unwrap_or_else(|e| exit_sweep_error(&e));
         let spec: Vec<usize> = m.spec_indices(&suite);
         let ct: Vec<usize> = m.ct_indices(&suite);
         let all: Vec<usize> = (0..suite.len()).collect();
-        println!("\nFigure 7 — execution time normalized to UnsafeBaseline ({model} model)\n");
+        println!(
+            "\nFigure 7 — execution time normalized to UnsafeBaseline ({model} model, seed {})\n",
+            args.seed
+        );
         println!("{}", render_fig7(&m, &[("avg(SPEC)", spec), ("avg(CT)", ct), ("avg(all)", all)]));
         println!("{}", render_bars(&m, "SPT{Bwd,ShadowL1}", 40));
         let path = PathBuf::from(format!("results/fig7_{model}.csv"));

@@ -23,7 +23,10 @@ fn main() {
     });
 
     println!("Figure 8 — untaint-event breakdown for SPT{{Bwd,ShadowL1}} (% of events)");
-    println!("F = Futuristic model, S = Spectre model; budget {} retired\n", args.opts.budget);
+    println!(
+        "F = Futuristic model, S = Spectre model; budget {} retired, seed {}\n",
+        args.opts.budget, args.seed
+    );
     print!("{:<14}{:>2}", "benchmark", "");
     for k in UntaintKind::ALL {
         print!("{:>14}", k.label());

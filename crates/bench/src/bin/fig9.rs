@@ -22,7 +22,10 @@ fn main() {
     });
 
     println!("Figure 9 — % of untainting cycles untainting at most N registers");
-    println!("(SPT{{Ideal,ShadowMem}}, Futuristic model, SPEC proxies; budget {budget})\n");
+    println!(
+        "(SPT{{Ideal,ShadowMem}}, Futuristic model, SPEC proxies; budget {budget}, seed {})\n",
+        args.seed
+    );
     print!("{:<14}", "benchmark");
     for n in 1..=10 {
         print!("{:>8}", format!("<={n}"));

@@ -22,7 +22,7 @@ fn main() {
 
     let suite = bench_suite();
     for model in [ThreatModel::Futuristic, ThreatModel::Spectre] {
-        eprintln!("== running sweep for {model} ({} jobs) ==", args.opts.jobs);
+        eprintln!("== running sweep for {model} (seed {}, {} jobs) ==", args.seed, args.opts.jobs);
         let m = suite_matrix(model, &suite, args.opts).unwrap_or_else(|e| exit_sweep_error(&e));
         let all: Vec<usize> = (0..suite.len()).collect();
         let ct = m.ct_indices(&suite);
@@ -40,7 +40,7 @@ fn main() {
         let oh = |c: usize| mean(c) - 1.0;
         let pts = |a: usize, b: usize| (mean(a) - mean(b)) * 100.0;
 
-        println!("\n=== Headline numbers, {model} model (paper §9.2) ===");
+        println!("\n=== Headline numbers, {model} model (paper §9.2; seed {}) ===", args.seed);
         println!("SPT{{Bwd,ShadowL1}} overhead vs UnsafeBaseline : {}", overhead_pct(mean(full)));
         println!("SecureBaseline overhead vs UnsafeBaseline    : {}", overhead_pct(mean(secure)));
         println!(

@@ -33,6 +33,7 @@ fn usage() -> ! {
         "usage: run_spt --executable <workload> [--enable-spt] [--stt]\n\
          \x20      [--threat-model spectre|futuristic] [--untaint-method none|fwd|bwd|ideal]\n\
          \x20      [--enable-shadow-l1 | --enable-shadow-mem] [--budget N] [--jobs N]\n\
+         \x20      [--seed N]\n\
          \x20      [--track-insts] [--list]"
     );
     std::process::exit(2);
@@ -47,6 +48,7 @@ fn main() {
     let mut untaint: Option<UntaintMethod> = None;
     let mut shadow = ShadowMode::None;
     let mut budget = 30_000u64;
+    let mut seed = 0u64;
     let mut track_insts = false;
 
     let mut i = 0;
@@ -81,6 +83,11 @@ fn main() {
             "--budget" => {
                 i += 1;
                 budget = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                spt_workloads::set_input_seed(seed);
             }
             // A single run has nothing to fan out; accepted so scripts can
             // pass a uniform flag set to every binary.
@@ -127,11 +134,12 @@ fn main() {
         std::process::exit(2);
     };
 
-    eprintln!("running {} under {config} ...", w.name);
+    eprintln!("running {} under {config} (seed {seed}) ...", w.name);
     let row = run_workload(w, config, budget).unwrap_or_else(|e| exit_sweep_error(&e));
 
     // stats.txt-style output (the artifact's "the one of most interest will
     // be numCycles").
+    println!("inputSeed                 {seed:>14}   # workload input seed (--seed)");
     println!("numCycles                 {:>14}   # cycles to retire the budget", row.cycles);
     println!("numRetired                {:>14}   # instructions retired", row.retired);
     println!(

@@ -28,7 +28,7 @@ fn main() {
     };
 
     println!("Protection-policy ablation — Futuristic model, normalized to UnsafeBaseline");
-    println!("(budget {budget} retired)\n");
+    println!("(budget {budget} retired, seed {})\n", args.seed);
     println!("{:<14}{:>14}{:>14}{:>22}", "benchmark", "SPT(delay)", "SPT+SDO", "oblivious better?");
     let (mut sum_d, mut sum_o) = (0.0, 0.0);
     for (wi, w) in suite.iter().enumerate() {

@@ -9,10 +9,12 @@ fn main() {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--budget" | "--jobs" => i += 1,
+            "--budget" | "--jobs" | "--seed" => i += 1,
             "--verbose" => {}
             other => {
-                eprintln!("table3: unknown flag `{other}` (accepts --budget/--jobs/--verbose)");
+                eprintln!(
+                    "table3: unknown flag `{other}` (accepts --budget/--jobs/--seed/--verbose)"
+                );
                 std::process::exit(2);
             }
         }

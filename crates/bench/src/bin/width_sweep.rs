@@ -28,7 +28,10 @@ fn main() {
     });
 
     println!("Broadcast-width ablation — SPT{{Bwd,ShadowL1}}, Futuristic model");
-    println!("cells: execution time normalized to width=16; budget {budget} retired\n");
+    println!(
+        "cells: execution time normalized to width=16; budget {budget} retired, seed {}\n",
+        args.seed
+    );
     print!("{:<14}", "benchmark");
     for w in WIDTHS {
         print!("{:>10}", format!("W={w}"));

@@ -16,6 +16,10 @@ pub struct SweepArgs {
     /// Threat models selected with `--model` (both, in paper order, when
     /// the flag is absent or unsupported).
     pub models: Vec<ThreatModel>,
+    /// Workload input seed from `--seed` (0 = historical default streams).
+    /// Already applied via [`spt_workloads::set_input_seed`] by the time
+    /// parsing returns; binaries print it in their report headers.
+    pub seed: u64,
 }
 
 /// Which optional flags a binary supports.
@@ -33,6 +37,7 @@ pub fn sweep_args(binary: &str, flags: Flags) -> SweepArgs {
     let mut parsed = SweepArgs {
         opts: SweepOptions::new(DEFAULT_BUDGET),
         models: vec![ThreatModel::Futuristic, ThreatModel::Spectre],
+        seed: 0,
     };
     let mut i = 0;
     let value = |i: &mut usize, flag: &str| -> String {
@@ -59,6 +64,13 @@ pub fn sweep_args(binary: &str, flags: Flags) -> SweepArgs {
                 });
                 parsed.opts = parsed.opts.jobs(jobs);
             }
+            "--seed" => {
+                let v = value(&mut i, "--seed");
+                parsed.seed = v.parse().unwrap_or_else(|_| {
+                    eprintln!("{binary}: --seed takes a number, got `{v}`");
+                    std::process::exit(2);
+                });
+            }
             "--verbose" => parsed.opts.verbose = true,
             "--quick" if flags.quick => parsed.opts.budget = 5_000,
             "--model" if flags.model => {
@@ -80,12 +92,15 @@ pub fn sweep_args(binary: &str, flags: Flags) -> SweepArgs {
         }
         i += 1;
     }
+    // Apply before any workload is constructed: the suites sample their
+    // input data (arrays, hash keys, pointer graphs) at build time.
+    spt_workloads::set_input_seed(parsed.seed);
     parsed
 }
 
 /// One-line usage string for a binary's flag set.
 pub fn usage(binary: &str, flags: Flags) -> String {
-    let mut s = format!("usage: {binary} [--budget N] [--jobs N] [--verbose]");
+    let mut s = format!("usage: {binary} [--budget N] [--jobs N] [--seed N] [--verbose]");
     if flags.model {
         s.push_str(" [--model spectre|futuristic|both]");
     }
@@ -110,6 +125,7 @@ mod tests {
     fn usage_mentions_supported_flags() {
         let all = usage("fig7", Flags { model: true, quick: true });
         assert!(all.contains("--jobs"));
+        assert!(all.contains("--seed"));
         assert!(all.contains("--model"));
         assert!(all.contains("--quick"));
         let plain = usage("fig8", Flags::default());

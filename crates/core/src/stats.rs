@@ -96,6 +96,13 @@ impl UntaintCounts {
     pub fn iter(&self) -> impl Iterator<Item = (UntaintKind, u64)> + '_ {
         UntaintKind::ALL.iter().map(move |&k| (k, self.0[k.index()]))
     }
+
+    /// Folds the per-kind counts into a digest, in display order.
+    pub fn fold_state(&self, h: &mut spt_util::Fnv64) {
+        for &c in &self.0 {
+            h.write_u64(c);
+        }
+    }
 }
 
 impl Index<UntaintKind> for UntaintCounts {
@@ -155,6 +162,23 @@ impl SptStats {
         }
         let sum: u64 = self.untaint_cycle_hist[..n].iter().sum();
         sum as f64 / self.untainting_cycles as f64
+    }
+
+    /// Digest of every untaint decision the engine took: per-mechanism
+    /// event counts, the per-cycle untaint-width histogram, and deferral
+    /// counts. Untaint decisions are attacker-visible under SPT's own
+    /// threat analysis (a delayed transmitter resumes exactly when its
+    /// operands untaint), so the relational fuzzing harness requires this
+    /// digest to be identical across secret-swapped runs.
+    pub fn decision_digest(&self) -> u64 {
+        let mut h = spt_util::Fnv64::new();
+        self.events.fold_state(&mut h);
+        for &c in &self.untaint_cycle_hist {
+            h.write_u64(c);
+        }
+        h.write_u64(self.untainting_cycles);
+        h.write_u64(self.broadcasts_deferred);
+        h.finish()
     }
 
     /// Adds another stats block into this one.

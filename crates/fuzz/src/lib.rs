@@ -1,0 +1,33 @@
+//! Differential and relational fuzzing of the SPT simulator.
+//!
+//! Two complementary oracles run over the same seeded program generator:
+//!
+//! * **Differential** ([`harness::differential`]): the out-of-order
+//!   [`Machine`](spt_ooo::Machine) must reach exactly the architectural
+//!   end-state of the in-order reference interpreter — registers, memory
+//!   footprint, and retired-instruction count — under *every* Table-2
+//!   protection configuration and both threat models. Protection schemes
+//!   may change timing, never architecture.
+//!
+//! * **Relational** ([`harness::relational`]): run the same program twice
+//!   with only the designated secret bytes varied. Any configuration whose
+//!   [`Config::protected()`](spt_core::Config::protected) contract holds
+//!   must produce a bit-identical attacker-observation digest (cache/TLB
+//!   reach state, transmitter retire timing, untaint decisions) for both
+//!   variants — the executable form of the paper's Theorem 1. The
+//!   UnsafeBaseline is the positive control: generated Spectre-v1 gadgets
+//!   must make its digests diverge, proving the observation channel is
+//!   sharp enough to see a real leak.
+//!
+//! Failing programs are greedily shrunk ([`shrink`]) and rendered as
+//! replayable textual-assembly reproducers ([`repro`]) for `fuzz/corpus/`.
+
+pub mod campaign;
+pub mod generator;
+pub mod harness;
+pub mod repro;
+pub mod shrink;
+
+pub use campaign::{run_campaign, CampaignConfig, CampaignReport};
+pub use generator::{generate, TestProgram};
+pub use harness::{differential, relational, Finding, FindingKind, RelOutcome};

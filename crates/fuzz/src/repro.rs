@@ -1,0 +1,150 @@
+//! Textual reproducers: a [`TestProgram`] rendered as the ISA's textual
+//! assembly plus `;@` metadata directives, round-trippable through
+//! [`to_text`] / [`from_text`]. Files live in `fuzz/corpus/` and are
+//! replayed by `tests/corpus.rs` on every test run.
+//!
+//! Directives (all lines are `;`-comments to the assembly parser):
+//!
+//! ```text
+//! ;@ spt-fuzz reproducer
+//! ;@ note <free text>                  (repeatable)
+//! ;@ secret <base-hex> <len>
+//! ;@ secretbytes <hex of variant A>
+//! ;@ expect arch-leak                  (program leaks architecturally)
+//! ;@ expect unsafe-diverge             (gadget: unsafe baseline must leak)
+//! ;@ mem <addr-hex> <word-hex>         (repeatable)
+//! ```
+
+use crate::generator::{TestProgram, SECRET_BASE};
+use spt_isa::parse::parse_program;
+
+/// A parsed reproducer file.
+pub struct ReproFile {
+    /// Program plus inputs and expectations.
+    pub tp: TestProgram,
+    /// Free-text notes from the header.
+    pub notes: Vec<String>,
+}
+
+fn hex_bytes(s: &str) -> Result<Vec<u8>, String> {
+    if !s.len().is_multiple_of(2) {
+        return Err("odd-length hex string".to_string());
+    }
+    (0..s.len() / 2)
+        .map(|i| {
+            u8::from_str_radix(&s[2 * i..2 * i + 2], 16)
+                .map_err(|e| format!("bad hex byte at {}: {e}", 2 * i))
+        })
+        .collect()
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    let r = match s.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    r.map_err(|e| format!("bad number {s:?}: {e}"))
+}
+
+/// Renders `tp` as a reproducer file.
+pub fn to_text(tp: &TestProgram, notes: &[String]) -> String {
+    let mut out = String::new();
+    out.push_str(";@ spt-fuzz reproducer\n");
+    for note in notes {
+        out.push_str(&format!(";@ note {note}\n"));
+    }
+    out.push_str(&format!(";@ secret {SECRET_BASE:#x} {}\n", tp.secret.len()));
+    let hex: String = tp.secret.iter().map(|b| format!("{b:02x}")).collect();
+    out.push_str(&format!(";@ secretbytes {hex}\n"));
+    if tp.expect_arch_leak {
+        out.push_str(";@ expect arch-leak\n");
+    }
+    if tp.has_gadget {
+        out.push_str(";@ expect unsafe-diverge\n");
+    }
+    for &(addr, word) in &tp.mem_words {
+        out.push_str(&format!(";@ mem {addr:#x} {word:#x}\n"));
+    }
+    out.push('\n');
+    out.push_str(&tp.program.to_string());
+    out
+}
+
+/// Parses a reproducer file.
+pub fn from_text(text: &str) -> Result<ReproFile, String> {
+    let mut notes = Vec::new();
+    let mut secret = Vec::new();
+    let mut mem_words = Vec::new();
+    let mut expect_arch_leak = false;
+    let mut expect_unsafe_diverge = false;
+    for line in text.lines() {
+        let Some(rest) = line.trim().strip_prefix(";@") else { continue };
+        let rest = rest.trim();
+        let mut tok = rest.split_whitespace();
+        match tok.next() {
+            Some("note") => notes.push(rest["note".len()..].trim().to_string()),
+            Some("secret") => {
+                let base = parse_u64(tok.next().ok_or("secret: missing base")?)?;
+                if base != SECRET_BASE {
+                    return Err(format!(
+                        "secret base {base:#x} unsupported (must be {SECRET_BASE:#x})"
+                    ));
+                }
+            }
+            Some("secretbytes") => {
+                secret = hex_bytes(tok.next().ok_or("secretbytes: missing hex")?)?;
+            }
+            Some("expect") => match tok.next() {
+                Some("arch-leak") => expect_arch_leak = true,
+                Some("unsafe-diverge") => expect_unsafe_diverge = true,
+                other => return Err(format!("unknown expectation {other:?}")),
+            },
+            Some("mem") => {
+                let addr = parse_u64(tok.next().ok_or("mem: missing addr")?)?;
+                let word = parse_u64(tok.next().ok_or("mem: missing word")?)?;
+                mem_words.push((addr, word));
+            }
+            _ => {} // Header marker or unknown directive: ignore.
+        }
+    }
+    if secret.is_empty() {
+        return Err("missing ;@ secretbytes directive".to_string());
+    }
+    let program = parse_program(text).map_err(|e| format!("assembly: {e}"))?;
+    Ok(ReproFile {
+        tp: TestProgram {
+            program,
+            mem_words,
+            secret,
+            expect_arch_leak,
+            has_gadget: expect_unsafe_diverge,
+        },
+        notes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate;
+
+    #[test]
+    fn round_trips_a_generated_program() {
+        let tp = generate(11);
+        let text = to_text(&tp, &["example note".to_string()]);
+        let back = from_text(&text).expect("parses");
+        assert_eq!(back.tp.program.insts(), tp.program.insts());
+        assert_eq!(back.tp.mem_words, tp.mem_words);
+        assert_eq!(back.tp.secret, tp.secret);
+        assert_eq!(back.tp.expect_arch_leak, tp.expect_arch_leak);
+        assert_eq!(back.tp.has_gadget, tp.has_gadget);
+        assert_eq!(back.notes, vec!["example note".to_string()]);
+    }
+
+    #[test]
+    fn rejects_malformed_headers() {
+        assert!(from_text("halt\n").is_err(), "missing secretbytes");
+        assert!(from_text(";@ secretbytes abc\nhalt\n").is_err(), "odd hex");
+        assert!(from_text(";@ expect nonsense\nhalt\n").is_err(), "unknown expectation");
+    }
+}

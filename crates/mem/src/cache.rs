@@ -274,6 +274,37 @@ impl Cache {
         events
     }
 
+    /// Folds the attacker-observable tag state into a digest: for every
+    /// set, the sorted `(tag, dirty)` pairs of its valid lines.
+    ///
+    /// This is exactly the state a probe-based receiver can reconstruct
+    /// (which lines are present, and — via writeback timing — which are
+    /// dirty). LRU tick values are deliberately excluded: they encode the
+    /// absolute access count, not a per-line observable, and would make
+    /// digests of behaviourally identical runs differ spuriously.
+    pub fn fold_state(&self, h: &mut spt_util::Fnv64) {
+        for (set_idx, set) in self.sets.iter().enumerate() {
+            let mut present: Vec<(u64, bool)> =
+                set.iter().filter(|l| l.valid).map(|l| (l.tag, l.dirty)).collect();
+            present.sort_unstable();
+            if present.is_empty() {
+                continue;
+            }
+            h.write_u64(set_idx as u64);
+            for (tag, dirty) in present {
+                h.write_u64(tag);
+                h.write_u64(u64::from(dirty));
+            }
+        }
+    }
+
+    /// One-shot [`Self::fold_state`] digest.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = spt_util::Fnv64::new();
+        self.fold_state(&mut h);
+        h.finish()
+    }
+
     /// Invalidates the line containing `addr` if present, returning the
     /// eviction event.
     pub fn invalidate(&mut self, addr: u64) -> Option<LineEvent> {

@@ -168,6 +168,19 @@ impl MemSystem {
         &self.l3
     }
 
+    /// Digest of the attacker-observable tag state of all three data-side
+    /// cache levels (see `Cache::fold_state`). Two runs with identical
+    /// digests present an identical probe surface to a cache-timing
+    /// receiver at every level.
+    pub fn cache_digest(&self) -> u64 {
+        let mut h = spt_util::Fnv64::new();
+        for (level, cache) in [(1u64, &self.l1), (2, &self.l2), (3, &self.l3)] {
+            h.write_u64(level);
+            cache.fold_state(&mut h);
+        }
+        h.finish()
+    }
+
     /// The innermost level currently holding `addr`'s line, without
     /// disturbing any state. This is the cache-timing attacker's receiver:
     /// a real attacker measures probe latency; the level is the same

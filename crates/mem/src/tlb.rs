@@ -92,6 +92,31 @@ impl Tlb {
         set.iter().any(|e| e.valid && e.vpn == vpn)
     }
 
+    /// Folds the attacker-observable reach state into a digest: for every
+    /// set, the sorted VPNs of its valid entries (a contention-channel
+    /// attacker learns exactly which pages are cached). LRU ticks are
+    /// excluded for the same reason as in `Cache::fold_state`.
+    pub fn fold_state(&self, h: &mut spt_util::Fnv64) {
+        for (set_idx, set) in self.sets.iter().enumerate() {
+            let mut vpns: Vec<u64> = set.iter().filter(|e| e.valid).map(|e| e.vpn).collect();
+            vpns.sort_unstable();
+            if vpns.is_empty() {
+                continue;
+            }
+            h.write_u64(set_idx as u64);
+            for vpn in vpns {
+                h.write_u64(vpn);
+            }
+        }
+    }
+
+    /// One-shot [`Self::fold_state`] digest.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = spt_util::Fnv64::new();
+        self.fold_state(&mut h);
+        h.finish()
+    }
+
     /// TLB hits so far.
     pub fn hits(&self) -> u64 {
         self.hits

@@ -145,6 +145,11 @@ pub struct Machine {
     dtlb: Tlb,
     /// Worst-case memory latency, used by the SDO oblivious policy.
     worst_mem_latency: u64,
+    /// Rolling digest of `(pc, cycle)` for every retired transmitter — the
+    /// retire-timing side of the attacker observation (a transmitter's
+    /// completion time is exactly what a contention/timing attacker
+    /// measures). Folded into [`Machine::observation_digest`].
+    transmit_obs: spt_util::Fnv64,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -226,6 +231,7 @@ impl Machine {
             last_fetch_line: u64::MAX,
             dtlb: Tlb::new(64, 4, 30),
             worst_mem_latency: 0,
+            transmit_obs: spt_util::Fnv64::new(),
         };
         {
             let h = m.mem.config();
@@ -340,6 +346,40 @@ impl Machine {
     /// Whether `Halt` has retired.
     pub fn halted(&self) -> bool {
         self.halted
+    }
+
+    /// Snapshot of every architectural register, indexed by register
+    /// number. Meaningful when the pipeline is drained (after `run` returns
+    /// or before it starts) — the differential harness compares this
+    /// against the reference interpreter.
+    pub fn arch_regs(&self) -> Vec<u64> {
+        Reg::all().map(|r| self.rf.arch_read(r)).collect()
+    }
+
+    /// Digest of everything a microarchitectural attacker can observe
+    /// about this run: the tag state of the data-side cache hierarchy and
+    /// the L1I, the data-TLB reach, the retire timing of every transmitter,
+    /// total cycles and retired count, and (under SPT) every untaint
+    /// decision the taint engine took.
+    ///
+    /// The relational fuzzing harness runs a program twice with only the
+    /// secret bytes varied: under a sound protection this digest must be
+    /// identical (the paper's Theorem-1 non-interference claim), while
+    /// under UnsafeBaseline a transient secret-indexed access makes it
+    /// diverge.
+    pub fn observation_digest(&self) -> u64 {
+        let mut h = spt_util::Fnv64::new();
+        h.write_u64(self.transmit_obs.finish());
+        h.write_u64(self.mem.cache_digest());
+        h.write_u64(self.icache.state_digest());
+        h.write_u64(self.dtlb.state_digest());
+        h.write_u64(self.cycle);
+        h.write_u64(self.stats.retired);
+        h.write_u64(self.stats.squashes);
+        if let Some(e) = &self.engine {
+            h.write_u64(e.stats().decision_digest());
+        }
+        h.finish()
     }
 
     /// Statistics snapshot (includes taint-engine statistics).
@@ -512,6 +552,10 @@ impl Machine {
             }
 
             let head = self.rob.pop_front().expect("head exists");
+            if head.inst.is_transmitter() {
+                self.transmit_obs.write_u64(head.pc);
+                self.transmit_obs.write_u64(self.cycle);
+            }
             if head.is_load()
                 && head.mem.fwd_from.is_none()
                 && head.mem.accessed

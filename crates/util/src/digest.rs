@@ -1,0 +1,76 @@
+//! A tiny deterministic folding digest.
+//!
+//! The relational fuzzing harness compares *attacker-observable*
+//! microarchitectural state across two runs that differ only in secret
+//! bytes. Each component (cache tags, TLB reach, transmitter retire
+//! timing, untaint decisions) folds itself into an [`Fnv64`]; equality of
+//! the final digests is the paper's non-interference check. FNV-1a is used
+//! because it is trivially portable and has no per-process randomization —
+//! digests must be comparable across runs, job counts, and machines.
+
+/// 64-bit FNV-1a folding hasher.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// The standard FNV-1a 64-bit offset basis.
+    pub const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64(Self::OFFSET)
+    }
+
+    /// Folds in raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Folds in one little-endian `u64`.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// The current digest value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Fnv64 {
+        Fnv64::new()
+    }
+}
+
+/// One-shot digest of a `u64` sequence.
+pub fn fnv64_of(values: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = Fnv64::new();
+    for v in values {
+        h.write_u64(v);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_order_sensitive() {
+        assert_eq!(fnv64_of([1, 2, 3]), fnv64_of([1, 2, 3]));
+        assert_ne!(fnv64_of([1, 2, 3]), fnv64_of([3, 2, 1]));
+        assert_ne!(fnv64_of([0]), fnv64_of([]));
+    }
+
+    #[test]
+    fn matches_reference_fnv1a() {
+        // FNV-1a of the bytes "a" (0x61) per the published reference.
+        let mut h = Fnv64::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -1,0 +1,16 @@
+//! Shared infrastructure with no simulator dependencies: the bounded
+//! deterministic worker pool every sweep and fuzz driver fans out over
+//! ([`run_indexed`]), and a tiny platform-independent folding digest
+//! ([`Fnv64`]) used to summarize attacker-observable microarchitectural
+//! state.
+//!
+//! This crate sits at the bottom of the dependency DAG (next to `spt-isa`)
+//! precisely so that both the measurement side (`spt-bench`) and the
+//! correctness side (`spt-fuzz`) can share one pool and one digest without
+//! depending on each other.
+
+pub mod digest;
+pub mod pool;
+
+pub use digest::Fnv64;
+pub use pool::{default_jobs, run_indexed};

@@ -1,0 +1,89 @@
+//! Bounded deterministic worker pool.
+//!
+//! Every cell of a sweep or fuzzing campaign is an independent task, so
+//! drivers fan out over a scoped pool sized by
+//! [`std::thread::available_parallelism`] and overridable with a `--jobs N`
+//! flag. Results are written into pre-indexed slots, so everything derived
+//! from them — CSV tables, fuzzing reports — is byte-identical to a
+//! sequential run regardless of scheduling.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Worker count used when `--jobs` is not given: one per available core.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Runs `n` independent tasks on a bounded scoped worker pool of `jobs`
+/// threads and returns their results in task-index order.
+///
+/// Tasks are claimed from a shared atomic counter (so long tasks don't
+/// serialize behind a static partition) and every result is placed into
+/// its pre-indexed slot; output order therefore never depends on thread
+/// scheduling. `jobs <= 1` degenerates to a plain sequential loop on the
+/// calling thread — bit-identical results either way.
+pub fn run_indexed<T, F>(n: usize, jobs: usize, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = jobs.max(1).min(n);
+    let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(n).collect();
+    if jobs <= 1 {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(task(i));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                let tx = tx.clone();
+                let (next, task) = (&next, &task);
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    if tx.send((i, task(i))).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (i, value) in rx {
+                slots[i] = Some(value);
+            }
+        });
+    }
+    slots.into_iter().map(|s| s.expect("every task index was executed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_preserves_index_order() {
+        for jobs in [1, 2, 7, 64] {
+            let out = run_indexed(33, jobs, |i| i * i);
+            assert_eq!(out, (0..33).map(|i| i * i).collect::<Vec<_>>(), "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn pool_handles_empty_and_oversized() {
+        assert!(run_indexed(0, 8, |i| i).is_empty());
+        assert_eq!(run_indexed(1, 8, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn pool_results_can_carry_errors() {
+        let out: Vec<Result<usize, String>> =
+            run_indexed(8, 4, |i| if i == 5 { Err(format!("cell {i}")) } else { Ok(i) });
+        assert_eq!(out[5], Err("cell 5".to_string()));
+        assert_eq!(out[4], Ok(4));
+    }
+}

@@ -32,8 +32,28 @@ pub mod attacks;
 pub mod ct;
 pub mod spec;
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use spt_isa::interp::{Interp, SparseMem};
 use spt_isa::Program;
+
+/// Process-wide seed mixed into every workload's input-data RNG stream.
+///
+/// The default of 0 reproduces the historical per-workload streams exactly
+/// (the mix is a plain XOR of a zero term), so paper-figure regeneration
+/// stays bit-stable unless a seed is requested explicitly.
+static INPUT_SEED: AtomicU64 = AtomicU64::new(0);
+
+/// Sets the workload input seed (the experiment binaries' `--seed N`).
+/// Affects workloads constructed *after* the call.
+pub fn set_input_seed(seed: u64) {
+    INPUT_SEED.store(seed, Ordering::Relaxed);
+}
+
+/// The current workload input seed (0 = historical default streams).
+pub fn input_seed() -> u64 {
+    INPUT_SEED.load(Ordering::Relaxed)
+}
 
 /// Problem-size selector.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

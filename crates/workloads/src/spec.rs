@@ -73,6 +73,9 @@ fn rng_for(name: &str) -> SmallRng {
     for b in name.bytes() {
         seed = (seed ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
     }
+    // Mix in the process-wide input seed; the default of 0 contributes a
+    // zero XOR term, leaving the historical streams untouched.
+    seed ^= crate::input_seed().wrapping_mul(0x9e37_79b9_7f4a_7c15);
     SmallRng::seed_from_u64(seed)
 }
 
