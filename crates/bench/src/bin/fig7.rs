@@ -12,15 +12,17 @@
 //! fans out over `--jobs` workers (default: one per core); cell ordering
 //! and CSV bytes are identical at any job count.
 
-use spt_bench::cli::{exit_sweep_error, sweep_args, Flags};
+use spt_bench::cli::{exit_sweep_error, model_suffixed, sweep_args, write_stats_json, Flags};
 use spt_bench::report::{render_bars, render_fig7, write_fig7_csv};
 use spt_bench::runner::{bench_suite, suite_matrix};
+use spt_bench::statsdoc::matrix_document;
 use std::path::PathBuf;
 
 fn main() {
     let args = sweep_args("fig7", Flags { model: true, quick: true });
 
     let suite = bench_suite();
+    let multi_model = args.models.len() > 1;
     for model in args.models {
         eprintln!(
             "== Figure 7, {model} model (budget {} retired, seed {}, {} jobs) ==",
@@ -40,6 +42,9 @@ fn main() {
         match write_fig7_csv(&m, &path) {
             Ok(()) => eprintln!("wrote {}", path.display()),
             Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+        if let Some(json_path) = &args.stats_json {
+            write_stats_json(&matrix_document(&m), &model_suffixed(json_path, model, multi_model));
         }
     }
 }

@@ -7,8 +7,9 @@
 //! cargo run -p spt-bench --release --bin fig8 -- [--budget N] [--jobs N]
 //! ```
 
-use spt_bench::cli::{exit_sweep_error, sweep_args, Flags};
+use spt_bench::cli::{exit_sweep_error, sweep_args, write_stats_json, Flags};
 use spt_bench::runner::{bench_suite, run_indexed, run_workload};
+use spt_bench::statsdoc::rows_document;
 use spt_core::{Config, ThreatModel, UntaintKind};
 
 fn main() {
@@ -21,6 +22,13 @@ fn main() {
         let (w, m) = (&suite[i / MODELS.len()], MODELS[i % MODELS.len()].1);
         run_workload(w, Config::spt_full(m), args.opts.budget)
     });
+    if let Some(json_path) = &args.stats_json {
+        let ok: Vec<_> = rows
+            .iter()
+            .map(|r| r.as_ref().cloned().unwrap_or_else(|e| exit_sweep_error(e)))
+            .collect();
+        write_stats_json(&rows_document(&ok), json_path);
+    }
 
     println!("Figure 8 — untaint-event breakdown for SPT{{Bwd,ShadowL1}} (% of events)");
     println!(

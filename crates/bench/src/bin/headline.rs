@@ -12,9 +12,10 @@
 //! cargo run -p spt-bench --release --bin headline -- [--budget N] [--jobs N]
 //! ```
 
-use spt_bench::cli::{exit_sweep_error, sweep_args, Flags};
+use spt_bench::cli::{exit_sweep_error, model_suffixed, sweep_args, write_stats_json, Flags};
 use spt_bench::report::{overhead_pct, ratio};
 use spt_bench::runner::{bench_suite, suite_matrix};
+use spt_bench::statsdoc::matrix_document;
 use spt_core::ThreatModel;
 
 fn main() {
@@ -24,6 +25,9 @@ fn main() {
     for model in [ThreatModel::Futuristic, ThreatModel::Spectre] {
         eprintln!("== running sweep for {model} (seed {}, {} jobs) ==", args.seed, args.opts.jobs);
         let m = suite_matrix(model, &suite, args.opts).unwrap_or_else(|e| exit_sweep_error(&e));
+        if let Some(json_path) = &args.stats_json {
+            write_stats_json(&matrix_document(&m), &model_suffixed(json_path, model, true));
+        }
         let all: Vec<usize> = (0..suite.len()).collect();
         let ct = m.ct_indices(&suite);
 

@@ -24,16 +24,20 @@
 //! nothing else"). `--stt` selects the STT comparison design.
 
 use spt_bench::cli::exit_sweep_error;
-use spt_bench::runner::run_workload;
+use spt_bench::runner::{prepare_machine, run_prepared};
+use spt_bench::statsdoc::{run_document, write_json};
 use spt_core::{Config, ShadowMode, ThreatModel, UntaintMethod};
+use spt_util::O3PipeViewSink;
 use spt_workloads::{full_suite, Scale};
+use std::fs::File;
+use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
         "usage: run_spt --executable <workload> [--enable-spt] [--stt]\n\
          \x20      [--threat-model spectre|futuristic] [--untaint-method none|fwd|bwd|ideal]\n\
          \x20      [--enable-shadow-l1 | --enable-shadow-mem] [--budget N] [--jobs N]\n\
-         \x20      [--seed N]\n\
+         \x20      [--seed N] [--trace <o3-trace-file>] [--stats-json <json-file>]\n\
          \x20      [--track-insts] [--list]"
     );
     std::process::exit(2);
@@ -50,6 +54,8 @@ fn main() {
     let mut budget = 30_000u64;
     let mut seed = 0u64;
     let mut track_insts = false;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut stats_json_path: Option<PathBuf> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -95,6 +101,14 @@ fn main() {
                 i += 1;
                 let _: usize = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
             }
+            "--trace" => {
+                i += 1;
+                trace_path = Some(args.get(i).map(PathBuf::from).unwrap_or_else(|| usage()));
+            }
+            "--stats-json" => {
+                i += 1;
+                stats_json_path = Some(args.get(i).map(PathBuf::from).unwrap_or_else(|| usage()));
+            }
             "--track-insts" => track_insts = true,
             "--list" => {
                 println!("available workloads:");
@@ -135,7 +149,33 @@ fn main() {
     };
 
     eprintln!("running {} under {config} (seed {seed}) ...", w.name);
-    let row = run_workload(w, config, budget).unwrap_or_else(|e| exit_sweep_error(&e));
+    let mut m = prepare_machine(w, config);
+    if let Some(path) = &trace_path {
+        let file = File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create trace file {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        m.set_trace_sink(Box::new(O3PipeViewSink::new(file)));
+    }
+    if stats_json_path.is_some() {
+        m.enable_telemetry();
+    }
+    let row = run_prepared(&mut m, w, config, budget).unwrap_or_else(|e| exit_sweep_error(&e));
+    if let Some(mut sink) = m.take_trace_sink() {
+        if let Err(e) = sink.flush() {
+            eprintln!("error writing trace: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("O3PipeView trace written to {}", trace_path.as_ref().unwrap().display());
+    }
+    if let Some(path) = &stats_json_path {
+        let doc = run_document(&m, w.name, config.name(), budget);
+        if let Err(e) = write_json(&doc, path) {
+            eprintln!("cannot write stats JSON {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("stats JSON written to {}", path.display());
+    }
 
     // stats.txt-style output (the artifact's "the one of most interest will
     // be numCycles").

@@ -6,8 +6,9 @@
 //! cargo run -p spt-bench --release --bin sdo -- [--budget N] [--jobs N]
 //! ```
 
-use spt_bench::cli::{exit_sweep_error, sweep_args, Flags};
+use spt_bench::cli::{exit_sweep_error, sweep_args, write_stats_json, Flags};
 use spt_bench::runner::{bench_suite, run_indexed, run_workload};
+use spt_bench::statsdoc::rows_document;
 use spt_core::{Config, ThreatModel};
 
 fn main() {
@@ -20,6 +21,13 @@ fn main() {
     let rows = run_indexed(suite.len() * configs.len(), args.opts.jobs, |i| {
         run_workload(&suite[i / configs.len()], configs[i % configs.len()], budget)
     });
+    if let Some(json_path) = &args.stats_json {
+        let ok: Vec<_> = rows
+            .iter()
+            .map(|r| r.as_ref().cloned().unwrap_or_else(|e| exit_sweep_error(e)))
+            .collect();
+        write_stats_json(&rows_document(&ok), json_path);
+    }
     let cell = |wi: usize, ci: usize| {
         rows[wi * configs.len() + ci]
             .as_ref()

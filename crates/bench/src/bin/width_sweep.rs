@@ -5,8 +5,9 @@
 //! cargo run -p spt-bench --release --bin width_sweep -- [--budget N] [--jobs N]
 //! ```
 
-use spt_bench::cli::{exit_sweep_error, sweep_args, Flags};
+use spt_bench::cli::{exit_sweep_error, sweep_args, write_stats_json, Flags};
 use spt_bench::runner::{run_indexed, run_workload};
+use spt_bench::statsdoc::rows_document;
 use spt_core::{Config, ThreatModel};
 use spt_workloads::{full_suite, Scale};
 
@@ -26,6 +27,13 @@ fn main() {
         cfg.broadcast_width = width;
         run_workload(wl, cfg, budget)
     });
+    if let Some(json_path) = &args.stats_json {
+        let ok: Vec<_> = rows
+            .iter()
+            .map(|r| r.as_ref().cloned().unwrap_or_else(|e| exit_sweep_error(e)))
+            .collect();
+        write_stats_json(&rows_document(&ok), json_path);
+    }
 
     println!("Broadcast-width ablation — SPT{{Bwd,ShadowL1}}, Futuristic model");
     println!(

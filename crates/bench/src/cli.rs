@@ -7,6 +7,7 @@
 
 use crate::runner::{SweepError, SweepOptions, DEFAULT_BUDGET};
 use spt_core::ThreatModel;
+use std::path::PathBuf;
 
 /// Flags common to the sweep binaries.
 #[derive(Clone, Debug)]
@@ -20,6 +21,9 @@ pub struct SweepArgs {
     /// Already applied via [`spt_workloads::set_input_seed`] by the time
     /// parsing returns; binaries print it in their report headers.
     pub seed: u64,
+    /// Destination for the sweep's `spt-stats-v1` JSON document
+    /// (`--stats-json <file>`); `None` leaves JSON emission off.
+    pub stats_json: Option<PathBuf>,
 }
 
 /// Which optional flags a binary supports.
@@ -38,6 +42,7 @@ pub fn sweep_args(binary: &str, flags: Flags) -> SweepArgs {
         opts: SweepOptions::new(DEFAULT_BUDGET),
         models: vec![ThreatModel::Futuristic, ThreatModel::Spectre],
         seed: 0,
+        stats_json: None,
     };
     let mut i = 0;
     let value = |i: &mut usize, flag: &str| -> String {
@@ -71,6 +76,9 @@ pub fn sweep_args(binary: &str, flags: Flags) -> SweepArgs {
                     std::process::exit(2);
                 });
             }
+            "--stats-json" => {
+                parsed.stats_json = Some(PathBuf::from(value(&mut i, "--stats-json")));
+            }
             "--verbose" => parsed.opts.verbose = true,
             "--quick" if flags.quick => parsed.opts.budget = 5_000,
             "--model" if flags.model => {
@@ -100,7 +108,9 @@ pub fn sweep_args(binary: &str, flags: Flags) -> SweepArgs {
 
 /// One-line usage string for a binary's flag set.
 pub fn usage(binary: &str, flags: Flags) -> String {
-    let mut s = format!("usage: {binary} [--budget N] [--jobs N] [--seed N] [--verbose]");
+    let mut s = format!(
+        "usage: {binary} [--budget N] [--jobs N] [--seed N] [--stats-json FILE] [--verbose]"
+    );
     if flags.model {
         s.push_str(" [--model spectre|futuristic|both]");
     }
@@ -115,6 +125,30 @@ pub fn usage(binary: &str, flags: Flags) -> String {
 pub fn exit_sweep_error(e: &SweepError) -> ! {
     eprintln!("sweep failed: {e}");
     std::process::exit(1);
+}
+
+/// Writes a `--stats-json` document, exiting on I/O failure (a requested
+/// artifact that cannot be produced is an error, not a warning).
+pub fn write_stats_json(doc: &spt_util::Json, path: &std::path::Path) {
+    match crate::statsdoc::write_json(doc, path) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("cannot write stats JSON {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Derives the per-model output path for binaries that loop over threat
+/// models: `stats.json` → `stats_futuristic.json` when `multi` is set,
+/// unchanged otherwise.
+pub fn model_suffixed(path: &std::path::Path, model: ThreatModel, multi: bool) -> PathBuf {
+    if !multi {
+        return path.to_path_buf();
+    }
+    let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("stats");
+    let ext = path.extension().and_then(|s| s.to_str()).unwrap_or("json");
+    path.with_file_name(format!("{stem}_{model}.{ext}"))
 }
 
 #[cfg(test)]

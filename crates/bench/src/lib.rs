@@ -21,8 +21,10 @@
 pub mod cli;
 pub mod report;
 pub mod runner;
+pub mod statsdoc;
 
 pub use runner::{
-    default_jobs, run_indexed, run_workload, suite_matrix, RunRow, SuiteMatrix, SweepError,
-    SweepOptions, DEFAULT_BUDGET,
+    default_jobs, prepare_machine, run_indexed, run_prepared, run_workload, suite_matrix, RunRow,
+    SuiteMatrix, SweepError, SweepOptions, DEFAULT_BUDGET,
 };
+pub use statsdoc::{matrix_document, run_document, write_json, STATS_SCHEMA};

@@ -115,12 +115,12 @@ mod tests {
             retired: 100,
             stats: Default::default(),
         };
-        SuiteMatrix {
-            threat: ThreatModel::Spectre,
-            configs: vec![BASELINE_CONFIG.into(), "SecureBaseline".into()],
-            workloads: vec!["w".into()],
-            rows: vec![vec![mk(100, BASELINE_CONFIG), mk(250, "SecureBaseline")]],
-        }
+        SuiteMatrix::new(
+            ThreatModel::Spectre,
+            vec![BASELINE_CONFIG.into(), "SecureBaseline".into()],
+            vec!["w".into()],
+            vec![vec![mk(100, BASELINE_CONFIG), mk(250, "SecureBaseline")]],
+        )
     }
 
     #[test]

@@ -70,17 +70,31 @@ impl std::error::Error for SweepError {
     }
 }
 
-/// Runs one workload under one configuration for `budget` retired
+/// Builds the machine for one (workload, config) cell: default core,
+/// default memory system with the workload's data image applied.
+///
+/// Callers that need observability attach a trace sink or enable
+/// telemetry on the returned machine before handing it to
+/// [`run_prepared`]; [`run_workload`] is the plain compose-and-run path.
+pub fn prepare_machine(w: &Workload, cfg: Config) -> Machine {
+    let mut mem = MemSystem::default();
+    w.apply_memory(mem.store());
+    Machine::with_memory(w.program.clone(), CoreConfig::default(), cfg, mem)
+}
+
+/// Runs a machine built by [`prepare_machine`] for `budget` retired
 /// instructions and returns the row.
 ///
 /// # Errors
 ///
 /// Returns a [`SweepError`] identifying the (workload, config, threat)
 /// cell if the simulator deadlocks (a bug, not a measurement).
-pub fn run_workload(w: &Workload, cfg: Config, budget: u64) -> Result<RunRow, SweepError> {
-    let mut mem = MemSystem::default();
-    w.apply_memory(mem.store());
-    let mut m = Machine::with_memory(w.program.clone(), CoreConfig::default(), cfg, mem);
+pub fn run_prepared(
+    m: &mut Machine,
+    w: &Workload,
+    cfg: Config,
+    budget: u64,
+) -> Result<RunRow, SweepError> {
     let out = m.run(RunLimits::retired(budget)).map_err(|source| SweepError {
         workload: w.name.to_string(),
         config: cfg.name().to_string(),
@@ -95,6 +109,18 @@ pub fn run_workload(w: &Workload, cfg: Config, budget: u64) -> Result<RunRow, Sw
         retired: out.retired,
         stats: m.stats(),
     })
+}
+
+/// Runs one workload under one configuration for `budget` retired
+/// instructions and returns the row.
+///
+/// # Errors
+///
+/// Returns a [`SweepError`] identifying the (workload, config, threat)
+/// cell if the simulator deadlocks (a bug, not a measurement).
+pub fn run_workload(w: &Workload, cfg: Config, budget: u64) -> Result<RunRow, SweepError> {
+    let mut m = prepare_machine(w, cfg);
+    run_prepared(&mut m, w, cfg, budget)
 }
 
 /// Knobs shared by every sweep entry point.
@@ -144,6 +170,9 @@ pub struct SuiteMatrix {
     pub workloads: Vec<String>,
     /// `rows[w][c]` = run of workload `w` under config `c`.
     pub rows: Vec<Vec<RunRow>>,
+    /// Column index of [`BASELINE_CONFIG`], resolved once at construction
+    /// so per-cell normalization is O(1) instead of a linear name scan.
+    baseline: usize,
 }
 
 /// Display name of the configuration every normalization divides by
@@ -151,27 +180,37 @@ pub struct SuiteMatrix {
 pub const BASELINE_CONFIG: &str = "UnsafeBaseline";
 
 impl SuiteMatrix {
-    /// Column index of the [`BASELINE_CONFIG`] every normalization divides
-    /// by.
+    /// Assembles a matrix, resolving the [`BASELINE_CONFIG`] column by
+    /// name once up front.
     ///
     /// # Panics
     ///
-    /// Panics if the matrix has no `UnsafeBaseline` column — normalized
+    /// Panics if `configs` has no `UnsafeBaseline` entry — normalized
     /// quantities are meaningless without it, and a silent positional
     /// assumption (column 0) could divide by the wrong configuration.
-    pub fn baseline_index(&self) -> usize {
-        self.configs.iter().position(|c| c == BASELINE_CONFIG).unwrap_or_else(|| {
+    pub fn new(
+        threat: ThreatModel,
+        configs: Vec<String>,
+        workloads: Vec<String>,
+        rows: Vec<Vec<RunRow>>,
+    ) -> SuiteMatrix {
+        let baseline = configs.iter().position(|c| c == BASELINE_CONFIG).unwrap_or_else(|| {
             panic!(
-                "matrix has no {BASELINE_CONFIG} column to normalize against (configs: {:?})",
-                self.configs
+                "matrix has no {BASELINE_CONFIG} column to normalize against (configs: {configs:?})"
             )
-        })
+        });
+        SuiteMatrix { threat, configs, workloads, rows, baseline }
     }
 
-    /// Cycles normalized to the [`BASELINE_CONFIG`] column (validated by
-    /// name, not assumed to be column 0).
+    /// Column index of the [`BASELINE_CONFIG`] every normalization divides
+    /// by (validated by name at construction).
+    pub fn baseline_index(&self) -> usize {
+        self.baseline
+    }
+
+    /// Cycles normalized to the [`BASELINE_CONFIG`] column.
     pub fn normalized(&self, w: usize, c: usize) -> f64 {
-        let base = self.rows[w][self.baseline_index()].cycles as f64;
+        let base = self.rows[w][self.baseline].cycles as f64;
         self.rows[w][c].cycles as f64 / base
     }
 
@@ -252,12 +291,12 @@ pub fn suite_matrix(
             rows.push(std::mem::replace(&mut row, Vec::with_capacity(configs.len())));
         }
     }
-    Ok(SuiteMatrix {
+    Ok(SuiteMatrix::new(
         threat,
-        configs: configs.iter().map(|c| c.name().to_string()).collect(),
-        workloads: workloads.iter().map(|w| w.name.to_string()).collect(),
+        configs.iter().map(|c| c.name().to_string()).collect(),
+        workloads.iter().map(|w| w.name.to_string()).collect(),
         rows,
-    })
+    ))
 }
 
 /// Builds the standard bench-scale workload suite.
@@ -299,25 +338,19 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "no UnsafeBaseline column")]
-    fn baseline_is_validated_by_name() {
-        let m = SuiteMatrix {
-            threat: ThreatModel::Spectre,
-            configs: vec!["Secure".into()],
-            workloads: vec![],
-            rows: vec![],
-        };
-        m.baseline_index();
+    fn baseline_is_validated_by_name_at_construction() {
+        let _ = SuiteMatrix::new(ThreatModel::Spectre, vec!["Secure".into()], vec![], vec![]);
     }
 
     #[test]
     #[should_panic(expected = "empty workload subset")]
     fn empty_subset_is_rejected() {
-        let m = SuiteMatrix {
-            threat: ThreatModel::Spectre,
-            configs: vec![BASELINE_CONFIG.to_string()],
-            workloads: vec![],
-            rows: vec![],
-        };
+        let m = SuiteMatrix::new(
+            ThreatModel::Spectre,
+            vec![BASELINE_CONFIG.to_string()],
+            vec![],
+            vec![],
+        );
         m.mean_over(0, &[]);
     }
 }

@@ -181,6 +181,25 @@ impl SptStats {
         h.finish()
     }
 
+    /// Renders the SPT counters as a JSON object for `--stats-json`
+    /// documents: per-mechanism untaint counts (Figure 8), the
+    /// untaints-per-cycle histogram (Figure 9), and the deferral counters.
+    pub fn to_json(&self) -> spt_util::Json {
+        use spt_util::Json;
+        let events = Json::Obj(
+            self.events.iter().map(|(k, c)| (k.label().to_string(), Json::U64(c))).collect(),
+        );
+        let hist =
+            Json::arr(self.untaint_cycle_hist.iter().map(|&c| Json::U64(c)).collect::<Vec<_>>());
+        Json::obj([
+            ("untaint_events", events),
+            ("untaint_events_total", Json::U64(self.events.total())),
+            ("untaints_per_cycle_hist", hist),
+            ("untainting_cycles", Json::U64(self.untainting_cycles)),
+            ("broadcasts_deferred", Json::U64(self.broadcasts_deferred)),
+        ])
+    }
+
     /// Adds another stats block into this one.
     pub fn merge(&mut self, other: &SptStats) {
         for k in UntaintKind::ALL {
@@ -241,5 +260,17 @@ mod tests {
     #[test]
     fn empty_cdf_is_one() {
         assert_eq!(SptStats::new().cdf_at_most(1), 1.0);
+    }
+
+    #[test]
+    fn json_roundtrips_counters() {
+        let mut s = SptStats::new();
+        s.events[UntaintKind::Forward] = 7;
+        s.record_untaint_cycle(2);
+        let j = s.to_json();
+        let parsed = spt_util::Json::parse(&j.to_string()).unwrap();
+        let events = parsed.get("untaint_events").unwrap();
+        assert_eq!(events.get("forward").and_then(spt_util::Json::as_u64), Some(7));
+        assert_eq!(parsed.get("untainting_cycles").and_then(spt_util::Json::as_u64), Some(1));
     }
 }

@@ -61,6 +61,33 @@ pub struct Checkpoint {
     ras: Ras,
 }
 
+/// Prediction-volume counters, by control-flow class.
+///
+/// Counted at *predict* time, so wrong-path instructions are included —
+/// these measure frontend work, not architectural branch counts (those
+/// live in the machine's retire-side stats).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FrontendStats {
+    /// Conditional branches predicted (TAGE lookups).
+    pub cond_predictions: u64,
+    /// Direct jumps and calls steered.
+    pub direct_predictions: u64,
+    /// Indirect jumps/calls predicted via the BTB.
+    pub indirect_predictions: u64,
+    /// Returns predicted via the RAS.
+    pub ras_predictions: u64,
+}
+
+impl FrontendStats {
+    /// Total predictions across classes.
+    pub fn total(&self) -> u64 {
+        self.cond_predictions
+            + self.direct_predictions
+            + self.indirect_predictions
+            + self.ras_predictions
+    }
+}
+
 /// The branch-prediction frontend: TAGE + BTB + RAS + speculative GHR.
 #[derive(Clone, Debug)]
 pub struct Frontend {
@@ -68,6 +95,7 @@ pub struct Frontend {
     btb: Btb,
     ras: Ras,
     ghr: Ghr,
+    stats: FrontendStats,
 }
 
 impl Default for Frontend {
@@ -79,7 +107,18 @@ impl Default for Frontend {
 impl Frontend {
     /// Creates an untrained frontend.
     pub fn new() -> Frontend {
-        Frontend { tage: Tage::new(), btb: Btb::new(), ras: Ras::new(), ghr: Ghr::new() }
+        Frontend {
+            tage: Tage::new(),
+            btb: Btb::new(),
+            ras: Ras::new(),
+            ghr: Ghr::new(),
+            stats: FrontendStats::default(),
+        }
+    }
+
+    /// Prediction-volume counters accumulated so far.
+    pub fn stats(&self) -> &FrontendStats {
+        &self.stats
     }
 
     /// Captures the speculative state (GHR + RAS) *before* predicting an
@@ -99,6 +138,7 @@ impl Frontend {
     pub fn predict(&mut self, pc: u64, inst: &Inst) -> FetchPrediction {
         match *inst {
             Inst::Branch { target, .. } => {
+                self.stats.cond_predictions += 1;
                 let (taken, info) = self.tage.predict(pc, &self.ghr);
                 self.ghr.push(taken);
                 FetchPrediction {
@@ -108,22 +148,27 @@ impl Frontend {
                 }
             }
             Inst::Jump { target } => {
+                self.stats.direct_predictions += 1;
                 FetchPrediction { next_pc: target as u64, predicted_taken: true, info: None }
             }
             Inst::Call { target, .. } => {
+                self.stats.direct_predictions += 1;
                 self.ras.push(pc + 1);
                 FetchPrediction { next_pc: target as u64, predicted_taken: true, info: None }
             }
             Inst::CallInd { .. } => {
+                self.stats.indirect_predictions += 1;
                 self.ras.push(pc + 1);
                 let next_pc = self.btb.lookup(pc).unwrap_or(pc + 1);
                 FetchPrediction { next_pc, predicted_taken: true, info: None }
             }
             Inst::Ret { .. } => {
+                self.stats.ras_predictions += 1;
                 let next_pc = self.ras.pop().unwrap_or(pc + 1);
                 FetchPrediction { next_pc, predicted_taken: true, info: None }
             }
             Inst::JumpInd { .. } => {
+                self.stats.indirect_predictions += 1;
                 let next_pc = self.btb.lookup(pc).unwrap_or(pc + 1);
                 FetchPrediction { next_pc, predicted_taken: true, info: None }
             }
@@ -217,6 +262,23 @@ mod tests {
         fe.train(7, &jr, true, 42, None);
         let p = fe.predict(7, &jr);
         assert_eq!(p.next_pc, 42);
+    }
+
+    #[test]
+    fn prediction_counters_by_class() {
+        let mut fe = Frontend::new();
+        fe.predict(1, &branch(9));
+        fe.predict(2, &Inst::Jump { target: 8 });
+        fe.predict(3, &Inst::Call { target: 20, link: Reg::R31 });
+        fe.predict(21, &Inst::Ret { link: Reg::R31 });
+        fe.predict(4, &Inst::JumpInd { base: Reg::R4 });
+        fe.predict(5, &Inst::Nop); // non-control-flow: uncounted
+        let s = fe.stats();
+        assert_eq!(s.cond_predictions, 1);
+        assert_eq!(s.direct_predictions, 2);
+        assert_eq!(s.indirect_predictions, 1);
+        assert_eq!(s.ras_predictions, 1);
+        assert_eq!(s.total(), 5);
     }
 
     #[test]

@@ -17,10 +17,19 @@ pub struct CacheGeometry {
 impl CacheGeometry {
     /// Number of sets.
     ///
+    /// This is the construction-time validator: indexing uses masks derived
+    /// from it exactly once (in [`Cache::new`] / `Tlb::new`), so the
+    /// assertions here run per cache built, not per access.
+    ///
     /// # Panics
     ///
-    /// Panics if the parameters are inconsistent (capacity not divisible by
-    /// `assoc * line_bytes`, or line size not a power of two).
+    /// Panics if the parameters are inconsistent: capacity not divisible by
+    /// `assoc * line_bytes`, line size not a power of two, or a
+    /// non-power-of-two set count. The last is load-bearing for
+    /// correctness, not just speed — set selection masks with `sets - 1`
+    /// while the tag drops `log2(sets)` bits, and both are only consistent
+    /// when `sets` is a power of two (a non-pow2 count would silently alias
+    /// distinct lines into one set while giving them distinct tags).
     pub fn sets(&self) -> usize {
         assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
         let per_way = self.size_bytes / self.assoc;
@@ -28,20 +37,14 @@ impl CacheGeometry {
             per_way.is_multiple_of(self.line_bytes) && per_way > 0,
             "inconsistent cache geometry {self:?}"
         );
-        per_way / self.line_bytes
+        let sets = per_way / self.line_bytes;
+        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two ({self:?})");
+        sets
     }
 
     /// The line-aligned address containing `addr`.
     pub fn line_addr(&self, addr: u64) -> u64 {
         addr & !(self.line_bytes as u64 - 1)
-    }
-
-    fn set_index(&self, addr: u64) -> usize {
-        ((addr / self.line_bytes as u64) as usize) & (self.sets() - 1)
-    }
-
-    fn tag(&self, addr: u64) -> u64 {
-        addr / self.line_bytes as u64 / self.sets() as u64
     }
 }
 
@@ -135,20 +138,48 @@ pub struct Cache {
     mshrs: Vec<Mshr>,
     tick: u64,
     stats: CacheStats,
+    // Indexing constants derived from the geometry once at construction
+    // (validated by `CacheGeometry::sets`); set selection and tag
+    // extraction sit on the hottest loop in the simulator and must not
+    // re-run the geometry assertions per access.
+    set_mask: usize,
+    line_shift: u32,
+    set_shift: u32,
 }
 
 impl Cache {
     /// Creates an empty (all-invalid) cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an inconsistent geometry (see [`CacheGeometry::sets`]).
     pub fn new(cfg: CacheConfig) -> Cache {
         let sets = cfg.geometry.sets();
-        assert!(sets.is_power_of_two(), "set count must be a power of two");
         Cache {
             cfg,
             sets: vec![vec![Line::default(); cfg.geometry.assoc]; sets],
             mshrs: Vec::with_capacity(cfg.mshrs),
             tick: 0,
             stats: CacheStats::default(),
+            set_mask: sets - 1,
+            line_shift: cfg.geometry.line_bytes.trailing_zeros(),
+            set_shift: sets.trailing_zeros(),
         }
+    }
+
+    #[inline]
+    fn set_index(&self, addr: u64) -> usize {
+        ((addr >> self.line_shift) as usize) & self.set_mask
+    }
+
+    #[inline]
+    fn tag(&self, addr: u64) -> u64 {
+        (addr >> self.line_shift) >> self.set_shift
+    }
+
+    #[inline]
+    fn line_of(&self, addr: u64) -> u64 {
+        addr & !((1u64 << self.line_shift) - 1)
     }
 
     /// This cache's configuration.
@@ -170,8 +201,8 @@ impl Cache {
     /// statistics. This is the attacker's observation primitive and is also
     /// used by tests.
     pub fn probe(&self, addr: u64) -> bool {
-        let set = &self.sets[self.cfg.geometry.set_index(addr)];
-        let tag = self.cfg.geometry.tag(addr);
+        let set = &self.sets[self.set_index(addr)];
+        let tag = self.tag(addr);
         set.iter().any(|l| l.valid && l.tag == tag)
     }
 
@@ -180,13 +211,19 @@ impl Cache {
     /// outstanding miss.
     pub fn mshr_available(&mut self, addr: u64, now: u64) -> bool {
         self.expire_mshrs(now);
-        let line = self.cfg.geometry.line_addr(addr);
+        let line = self.line_of(addr);
         self.mshrs.len() < self.cfg.mshrs || self.mshrs.iter().any(|m| m.line_addr == line)
     }
 
     /// The earliest cycle at which an MSHR will free up.
     pub fn earliest_mshr_free(&self) -> Option<u64> {
         self.mshrs.iter().map(|m| m.ready_at).min()
+    }
+
+    /// Number of misses still outstanding at `now` (telemetry probe; does
+    /// not recycle expired entries).
+    pub fn mshrs_in_flight(&self, now: u64) -> usize {
+        self.mshrs.iter().filter(|m| m.ready_at > now).count()
     }
 
     fn expire_mshrs(&mut self, now: u64) {
@@ -199,7 +236,7 @@ impl Cache {
     /// returns `true` without allocating if the line already has one.
     pub fn allocate_mshr(&mut self, addr: u64, now: u64, ready_at: u64) -> bool {
         self.expire_mshrs(now);
-        let line = self.cfg.geometry.line_addr(addr);
+        let line = self.line_of(addr);
         if self.mshrs.iter().any(|m| m.line_addr == line) {
             return true;
         }
@@ -213,7 +250,7 @@ impl Cache {
 
     /// The completion cycle of an outstanding miss on `addr`'s line, if any.
     pub fn outstanding_miss(&self, addr: u64) -> Option<u64> {
-        let line = self.cfg.geometry.line_addr(addr);
+        let line = self.line_of(addr);
         self.mshrs.iter().find(|m| m.line_addr == line).map(|m| m.ready_at)
     }
 
@@ -221,8 +258,8 @@ impl Cache {
     /// writes). Does *not* fill on miss — the hierarchy decides that.
     pub fn lookup(&mut self, addr: u64, write: bool) -> bool {
         self.tick += 1;
-        let tag = self.cfg.geometry.tag(addr);
-        let set_idx = self.cfg.geometry.set_index(addr);
+        let tag = self.tag(addr);
+        let set_idx = self.set_index(addr);
         let tick = self.tick;
         let set = &mut self.sets[set_idx];
         for line in set.iter_mut() {
@@ -243,9 +280,9 @@ impl Cache {
     /// needed. Returns the events (eviction, then fill).
     pub fn fill(&mut self, addr: u64, write: bool) -> Vec<LineEvent> {
         self.tick += 1;
-        let tag = self.cfg.geometry.tag(addr);
-        let set_idx = self.cfg.geometry.set_index(addr);
-        let line_addr = self.cfg.geometry.line_addr(addr);
+        let tag = self.tag(addr);
+        let set_idx = self.set_index(addr);
+        let line_addr = self.line_of(addr);
         let sets = self.sets.len() as u64;
         let line_bytes = self.cfg.geometry.line_bytes as u64;
         let tick = self.tick;
@@ -308,9 +345,9 @@ impl Cache {
     /// Invalidates the line containing `addr` if present, returning the
     /// eviction event.
     pub fn invalidate(&mut self, addr: u64) -> Option<LineEvent> {
-        let tag = self.cfg.geometry.tag(addr);
-        let set_idx = self.cfg.geometry.set_index(addr);
-        let line_addr = self.cfg.geometry.line_addr(addr);
+        let tag = self.tag(addr);
+        let set_idx = self.set_index(addr);
+        let line_addr = self.line_of(addr);
         for line in &mut self.sets[set_idx] {
             if line.valid && line.tag == tag {
                 line.valid = false;
@@ -373,6 +410,38 @@ mod tests {
         let g = CacheGeometry { size_bytes: 32 * 1024, assoc: 8, line_bytes: 64 };
         assert_eq!(g.sets(), 64);
         assert_eq!(g.line_addr(0x12345), 0x12340);
+    }
+
+    // Regression: a geometry with a non-power-of-two set count (3 sets
+    // here) used to pass `sets()` validation while `set_index` masked with
+    // `sets - 1`, silently aliasing sets 1/2/3 and making tag/index
+    // inconsistent. It must be rejected at validation time.
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_set_count_rejected() {
+        let g = CacheGeometry { size_bytes: 3 * 64, assoc: 1, line_bytes: 64 };
+        let _ = g.sets();
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_cache_construction_rejected() {
+        let _ = Cache::new(CacheConfig {
+            geometry: CacheGeometry { size_bytes: 6 * 64, assoc: 2, line_bytes: 64 },
+            hit_latency: 1,
+            mshrs: 1,
+        });
+    }
+
+    #[test]
+    fn mshrs_in_flight_counts_outstanding() {
+        let mut c = small_cache();
+        assert_eq!(c.mshrs_in_flight(0), 0);
+        c.allocate_mshr(0x1000, 0, 100);
+        c.allocate_mshr(0x2000, 0, 50);
+        assert_eq!(c.mshrs_in_flight(0), 2);
+        assert_eq!(c.mshrs_in_flight(50), 1); // the 0x2000 miss completed
+        assert_eq!(c.mshrs_in_flight(100), 0);
     }
 
     #[test]

@@ -24,6 +24,9 @@
 #[derive(Clone, Debug)]
 pub struct Tlb {
     sets: Vec<Vec<TlbEntry>>,
+    // Precomputed at construction (set count validated power-of-two there);
+    // `translate` runs on every memory issue and must not redo the math.
+    set_mask: usize,
     walk_latency: u64,
     tick: u64,
     hits: u64,
@@ -54,6 +57,7 @@ impl Tlb {
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         Tlb {
             sets: vec![vec![TlbEntry::default(); assoc]; sets],
+            set_mask: sets - 1,
             walk_latency,
             tick: 0,
             hits: 0,
@@ -66,7 +70,7 @@ impl Tlb {
     pub fn translate(&mut self, addr: u64) -> u64 {
         self.tick += 1;
         let vpn = addr / Self::PAGE;
-        let set_idx = (vpn as usize) & (self.sets.len() - 1);
+        let set_idx = (vpn as usize) & self.set_mask;
         let tick = self.tick;
         let set = &mut self.sets[set_idx];
         for e in set.iter_mut() {
@@ -88,7 +92,7 @@ impl Tlb {
     /// TLB-side attacker observation).
     pub fn probe(&self, addr: u64) -> bool {
         let vpn = addr / Self::PAGE;
-        let set = &self.sets[(vpn as usize) & (self.sets.len() - 1)];
+        let set = &self.sets[(vpn as usize) & self.set_mask];
         set.iter().any(|e| e.valid && e.vpn == vpn)
     }
 
@@ -154,6 +158,14 @@ mod tests {
         assert!(t.probe(page(0)));
         assert!(!t.probe(page(1)));
         assert!(t.probe(page(2)));
+    }
+
+    // Regression companion to the cache-geometry fix: a non-pow2 set
+    // count would make the `set_mask` indexing alias sets.
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_set_count_rejected() {
+        let _ = Tlb::new(12, 2, 25); // 6 sets
     }
 
     #[test]

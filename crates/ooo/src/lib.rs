@@ -49,9 +49,11 @@ pub mod machine;
 pub mod rename;
 pub mod rob;
 pub mod stats;
+pub mod telemetry;
 pub mod validate;
 
 pub use config::CoreConfig;
 pub use machine::{Machine, RunLimits};
 pub use stats::{MachineStats, RunOutcome, SimError, StopReason};
+pub use telemetry::Telemetry;
 pub use validate::SecurityValidator;

@@ -31,6 +31,7 @@ use crate::config::CoreConfig;
 use crate::rename::RegisterFile;
 use crate::rob::{ExecState, RobEntry};
 use crate::stats::{MachineStats, RunOutcome, SimError, StopReason};
+use crate::telemetry::Telemetry;
 use crate::validate::SecurityValidator;
 use spt_core::{
     Config, ProtectionKind, RenameInfo, Seq, ShadowTaint, StlCondition, SttTracker, TaintEngine,
@@ -39,6 +40,7 @@ use spt_core::{
 use spt_frontend::{Checkpoint, FetchPrediction, Frontend, PredictInfo};
 use spt_isa::{Inst, Program, Reg};
 use spt_mem::{Cache, HierarchyConfig, Level, MemSystem, Tlb};
+use spt_util::{InstRecord, SptTraceEvent, TraceHandle, TraceSink};
 use std::collections::VecDeque;
 
 /// Limits for [`Machine::run`].
@@ -76,6 +78,7 @@ struct Fetched {
     pred_next: u64,
     pred_taken: bool,
     pred_info: Option<PredictInfo>,
+    fetch_cycle: u64,
 }
 
 /// The simulated machine.
@@ -150,6 +153,13 @@ pub struct Machine {
     /// completion time is exactly what a contention/timing attacker
     /// measures). Folded into [`Machine::observation_digest`].
     transmit_obs: spt_util::Fnv64,
+    /// Pipeline trace probe: a null test when disabled, an O3PipeView (or
+    /// test) sink when attached. Never read by any stage, so it cannot
+    /// affect timing. Cloning the machine yields a disabled handle.
+    trace: TraceHandle,
+    /// Opt-in occupancy/latency histograms; one null test per cycle when
+    /// disabled.
+    telemetry: Option<Box<Telemetry>>,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -232,6 +242,8 @@ impl Machine {
             dtlb: Tlb::new(64, 4, 30),
             worst_mem_latency: 0,
             transmit_obs: spt_util::Fnv64::new(),
+            trace: TraceHandle::disabled(),
+            telemetry: None,
         };
         {
             let h = m.mem.config();
@@ -274,6 +286,47 @@ impl Machine {
         if self.engine.is_some() {
             self.validator = Some(SecurityValidator::new());
         }
+    }
+
+    /// Attaches a pipeline trace sink. Every subsequently retired or
+    /// squashed instruction is reported to it, along with SPT taint/untaint
+    /// and delay events. Replaces any previous sink.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = TraceHandle::new(sink);
+    }
+
+    /// Detaches and returns the trace sink, if one was attached. Callers
+    /// should [`TraceSink::flush`] it to surface buffered I/O errors.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.trace.take()
+    }
+
+    /// Enables occupancy/latency telemetry from this point on.
+    pub fn enable_telemetry(&mut self) {
+        if self.telemetry.is_none() {
+            self.telemetry = Some(Box::new(Telemetry::new(self.core.num_phys)));
+        }
+    }
+
+    /// The telemetry histograms, if [`Machine::enable_telemetry`] was
+    /// called.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// L1 instruction-cache statistics.
+    pub fn icache_stats(&self) -> &spt_mem::CacheStats {
+        self.icache.stats()
+    }
+
+    /// Data-TLB hit/miss counters.
+    pub fn dtlb_stats(&self) -> (u64, u64) {
+        (self.dtlb.hits(), self.dtlb.misses())
+    }
+
+    /// Frontend prediction-volume counters.
+    pub fn frontend_stats(&self) -> &spt_frontend::FrontendStats {
+        self.fe.stats()
     }
 
     /// Whether the data TLB currently caches `addr`'s page (the TLB-side
@@ -445,6 +498,13 @@ impl Machine {
             v.drain(|p| if rf.is_ready(p) { Some(rf.read(p)) } else { None });
             self.validator = Some(v);
         }
+        if let Some(t) = &mut self.telemetry {
+            t.rob_occupancy.record(self.rob.len() as u64);
+            t.rs_occupancy.record(self.rs_used as u64);
+            t.lq_occupancy.record(self.lq_used as u64);
+            t.sq_occupancy.record(self.sq_used as u64);
+            t.mshr_inflight.record(self.mem.l1().mshrs_in_flight(self.cycle) as u64);
+        }
         self.cycle += 1;
     }
 
@@ -508,6 +568,58 @@ impl Machine {
     }
 
     // ------------------------------------------------------------------
+    // Trace emission
+    // ------------------------------------------------------------------
+
+    /// Reports a departing instruction (retired or squashed) to the trace
+    /// sink. The disassembly string is only formatted when a sink is
+    /// attached.
+    fn emit_inst(&mut self, e: &RobEntry, retire_cycle: Option<u64>, squash_cycle: Option<u64>) {
+        if !self.trace.enabled() {
+            return;
+        }
+        let disasm = e.inst.to_string();
+        if let Some(sink) = self.trace.sink() {
+            sink.inst(&InstRecord {
+                seq: e.seq,
+                pc: e.pc,
+                disasm: &disasm,
+                fetch_cycle: e.timing.fetch_cycle,
+                rename_cycle: e.timing.rename_cycle,
+                issue_cycle: e.timing.issue_cycle,
+                complete_cycle: e.timing.complete_cycle,
+                retire_cycle,
+                squash_cycle,
+            });
+        }
+    }
+
+    /// Counts a transmitter-slot cycle blocked by the protection gate,
+    /// both globally and on the blocked instruction itself.
+    fn note_xmit_blocked(&mut self, i: usize) {
+        self.stats.transmitter_delay_cycles += 1;
+        self.rob[i].timing.xmit_delay_cycles += 1;
+        if self.trace.enabled() {
+            let (seq, pc, cycle) = (self.rob[i].seq, self.rob[i].pc, self.cycle);
+            if let Some(sink) = self.trace.sink() {
+                sink.event(cycle, &SptTraceEvent::TransmitterDelayed { seq, pc });
+            }
+        }
+    }
+
+    /// Counts a deferred branch-resolution cycle for the entry at ROB
+    /// index `i`.
+    fn note_resolution_deferred(&mut self, i: usize) {
+        self.stats.resolution_delay_cycles += 1;
+        if self.trace.enabled() {
+            let (seq, pc, cycle) = (self.rob[i].seq, self.rob[i].pc, self.cycle);
+            if let Some(sink) = self.trace.sink() {
+                sink.event(cycle, &SptTraceEvent::ResolutionDeferred { seq, pc });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Retire
     // ------------------------------------------------------------------
 
@@ -552,6 +664,12 @@ impl Machine {
             }
 
             let head = self.rob.pop_front().expect("head exists");
+            self.emit_inst(&head, Some(self.cycle), None);
+            if let Some(t) = &mut self.telemetry {
+                if head.inst.is_transmitter() {
+                    t.xmit_delay.record(head.timing.xmit_delay_cycles);
+                }
+            }
             if head.inst.is_transmitter() {
                 self.transmit_obs.write_u64(head.pc);
                 self.transmit_obs.write_u64(self.cycle);
@@ -628,6 +746,20 @@ impl Machine {
             if let Some(v) = self.validator.as_mut() {
                 for &(phys, kind) in &step.broadcasts {
                     v.on_broadcast(phys, kind);
+                }
+            }
+            if self.trace.enabled() || self.telemetry.is_some() {
+                for &(phys, kind) in &step.broadcasts {
+                    let cycle = self.cycle;
+                    if let Some(sink) = self.trace.sink() {
+                        sink.event(
+                            cycle,
+                            &SptTraceEvent::Untaint { phys, mechanism: kind.label() },
+                        );
+                    }
+                    if let Some(t) = &mut self.telemetry {
+                        t.on_untaint(phys, cycle);
+                    }
                 }
             }
             if !matches!(self.prot.shadow, spt_core::ShadowMode::None) {
@@ -760,6 +892,7 @@ impl Machine {
             let dest = e.dest;
             let result = if is_load { self.rob[i].mem.value } else { self.rob[i].result };
             self.rob[i].state = ExecState::Done;
+            self.rob[i].timing.complete_cycle = Some(self.cycle);
             if let Some((_, phys, _)) = dest {
                 self.rf.write(phys, result);
             }
@@ -830,7 +963,7 @@ impl Machine {
                 continue;
             }
             if !self.resolution_allowed(e) {
-                self.stats.resolution_delay_cycles += 1;
+                self.note_resolution_deferred(i);
                 continue;
             }
             let e = &mut self.rob[i];
@@ -878,7 +1011,7 @@ impl Machine {
                 }
             };
             if !allowed {
-                self.stats.resolution_delay_cycles += 1;
+                self.note_resolution_deferred(i);
                 continue;
             }
             let Some(victim) = self.rob.iter().find(|v| v.seq == victim_seq) else {
@@ -905,8 +1038,12 @@ impl Machine {
                 break;
             }
             let e = self.rob.pop_back().expect("tail exists");
+            self.emit_inst(&e, None, Some(self.cycle));
             if let Some((arch, new, old)) = e.dest {
                 self.rf.rollback(arch, new, old);
+                if let Some(t) = &mut self.telemetry {
+                    t.on_squash_reg(new);
+                }
             }
             if e.in_rs {
                 self.rs_used -= 1;
@@ -984,7 +1121,7 @@ impl Machine {
                             issued += 1;
                             mem_issued += 1;
                         } else {
-                            self.stats.transmitter_delay_cycles += 1;
+                            self.note_xmit_blocked(i);
                         }
                         continue;
                     }
@@ -998,7 +1135,7 @@ impl Machine {
                         continue;
                     }
                     if !self.transmit_allowed(&self.rob[i]) {
-                        self.stats.transmitter_delay_cycles += 1;
+                        self.note_xmit_blocked(i);
                         continue;
                     }
                     self.issue_store(i);
@@ -1013,7 +1150,7 @@ impl Machine {
                         && self.prot.variable_time_transmitters
                         && !self.transmit_allowed(&self.rob[i])
                     {
-                        self.stats.transmitter_delay_cycles += 1;
+                        self.note_xmit_blocked(i);
                         continue;
                     }
                     self.issue_alu(i);
@@ -1076,6 +1213,7 @@ impl Machine {
         e.actual_taken = actual_taken;
         e.state = ExecState::Issued;
         e.done_at = self.cycle + latency;
+        e.timing.issue_cycle = Some(self.cycle);
         e.in_rs = false;
         self.rs_used -= 1;
     }
@@ -1157,6 +1295,7 @@ impl Machine {
         e.mem.accessed = true;
         e.state = ExecState::Issued;
         e.done_at = done_at;
+        e.timing.issue_cycle = Some(self.cycle);
         e.in_rs = false;
         self.rs_used -= 1;
         let _ = seq;
@@ -1213,6 +1352,7 @@ impl Machine {
         e.mem.oblivious = true;
         e.state = ExecState::Issued;
         e.done_at = done_at;
+        e.timing.issue_cycle = Some(self.cycle);
         e.in_rs = false;
         self.rs_used -= 1;
         true
@@ -1256,6 +1396,7 @@ impl Machine {
         e.mem.value = value;
         e.state = ExecState::Issued;
         e.done_at = self.cycle + 1 + tlb_extra;
+        e.timing.issue_cycle = Some(self.cycle);
         e.in_rs = false;
         self.rs_used -= 1;
         if let Some(v) = victim {
@@ -1334,6 +1475,17 @@ impl Machine {
                         dest.is_some() && dest_taint.is_clear(),
                     );
                 }
+                if !dest_taint.is_clear() {
+                    if let Some((_, new, _)) = dest {
+                        let cycle = self.cycle;
+                        if let Some(sink) = self.trace.sink() {
+                            sink.event(cycle, &SptTraceEvent::TaintDest { seq, phys: new });
+                        }
+                        if let Some(t) = &mut self.telemetry {
+                            t.on_taint(new, cycle);
+                        }
+                    }
+                }
             }
             if let Some(stt) = &mut self.stt {
                 if matches!(inst, Inst::Load { .. }) {
@@ -1345,7 +1497,8 @@ impl Machine {
                 }
             }
 
-            let entry = RobEntry::new(
+            let fetch_cycle = f.fetch_cycle;
+            let mut entry = RobEntry::new(
                 seq,
                 f.pc,
                 inst,
@@ -1356,6 +1509,8 @@ impl Machine {
                 f.pred_taken,
                 f.pred_info,
             );
+            entry.timing.fetch_cycle = fetch_cycle;
+            entry.timing.rename_cycle = self.cycle;
             if entry.is_load() {
                 self.lq_used += 1;
             }
@@ -1414,6 +1569,7 @@ impl Machine {
                 pred_next: pred.next_pc,
                 pred_taken: pred.predicted_taken,
                 pred_info: pred.info,
+                fetch_cycle: self.cycle,
             });
             self.fetch_pc = pred.next_pc;
             if stall {

@@ -40,6 +40,26 @@ pub struct MemState {
     pub oblivious: bool,
 }
 
+/// Per-stage timestamps for observability.
+///
+/// Recorded unconditionally (plain stores, never read back by any stage),
+/// so tracing imposes no timing or digest difference when disabled.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageTiming {
+    /// Cycle the instruction entered the fetch queue.
+    pub fetch_cycle: u64,
+    /// Cycle it was renamed into the ROB.
+    pub rename_cycle: u64,
+    /// Cycle it issued to a functional unit / memory port.
+    pub issue_cycle: Option<u64>,
+    /// Cycle its result wrote back.
+    pub complete_cycle: Option<u64>,
+    /// Cycles this (transmitter) instruction was ready but blocked by the
+    /// protection gate — the per-instruction share of
+    /// `MachineStats::transmitter_delay_cycles`.
+    pub xmit_delay_cycles: u64,
+}
+
 /// One reorder buffer entry.
 #[derive(Clone, Debug)]
 pub struct RobEntry {
@@ -82,6 +102,8 @@ pub struct RobEntry {
     pub declassified: bool,
     /// Load/store state.
     pub mem: MemState,
+    /// Stage timestamps for pipeline tracing.
+    pub timing: StageTiming,
 }
 
 impl RobEntry {
@@ -126,6 +148,7 @@ impl RobEntry {
             vp: false,
             declassified: false,
             mem: MemState { bytes, ..MemState::default() },
+            timing: StageTiming::default(),
         }
     }
 

@@ -1,6 +1,7 @@
 //! Machine-level statistics and run outcomes.
 
 use spt_core::SptStats;
+use spt_util::Json;
 use std::error::Error;
 use std::fmt;
 
@@ -52,6 +53,27 @@ impl MachineStats {
         } else {
             self.branch_mispredicts as f64 / self.retired_branches as f64
         }
+    }
+
+    /// Renders every counter (plus derived rates and the SPT sub-block) as
+    /// one JSON object — the `machine` section of the stats document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("cycles", Json::U64(self.cycles)),
+            ("retired", Json::U64(self.retired)),
+            ("fetched", Json::U64(self.fetched)),
+            ("ipc", Json::F64(self.ipc())),
+            ("squashes", Json::U64(self.squashes)),
+            ("branch_mispredicts", Json::U64(self.branch_mispredicts)),
+            ("indirect_mispredicts", Json::U64(self.indirect_mispredicts)),
+            ("retired_branches", Json::U64(self.retired_branches)),
+            ("mispredict_rate", Json::F64(self.mispredict_rate())),
+            ("mem_violations", Json::U64(self.mem_violations)),
+            ("transmitter_delay_cycles", Json::U64(self.transmitter_delay_cycles)),
+            ("resolution_delay_cycles", Json::U64(self.resolution_delay_cycles)),
+            ("stl_forwards", Json::U64(self.stl_forwards)),
+            ("spt", self.spt.to_json()),
+        ])
     }
 }
 
@@ -129,6 +151,24 @@ mod tests {
         };
         assert!((s.ipc() - 2.5).abs() < 1e-12);
         assert!((s.mispredict_rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_has_counters_and_spt_block() {
+        let s = MachineStats {
+            cycles: 100,
+            retired: 250,
+            transmitter_delay_cycles: 17,
+            ..MachineStats::default()
+        };
+        let j = s.to_json();
+        assert_eq!(j.get("cycles").and_then(Json::as_u64), Some(100));
+        assert_eq!(j.get("transmitter_delay_cycles").and_then(Json::as_u64), Some(17));
+        assert!((j.get("ipc").and_then(Json::as_f64).unwrap() - 2.5).abs() < 1e-12);
+        assert!(j.get("spt").and_then(|s| s.get("untaint_events_total")).is_some());
+        // Round-trips through the text form.
+        let back = Json::parse(&j.to_string()).unwrap();
+        assert_eq!(back.get("retired").and_then(Json::as_u64), Some(250));
     }
 
     #[test]

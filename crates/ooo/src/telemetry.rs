@@ -1,0 +1,145 @@
+//! Opt-in run telemetry: per-cycle structure occupancy and SPT latency
+//! distributions.
+//!
+//! A [`Telemetry`] block is carried by the machine as an
+//! `Option<Box<Telemetry>>`: disabled runs pay one null test per cycle and
+//! nothing else. Telemetry only *reads* simulator state (occupancy counts,
+//! broadcast events), never feeds back, so enabling it cannot change cycle
+//! counts or attacker-observation digests.
+
+use spt_core::PhysReg;
+use spt_util::{Histogram, Json, Log2Histogram};
+
+/// Histograms accumulated over a run when telemetry is enabled.
+#[derive(Clone, Debug)]
+pub struct Telemetry {
+    /// ROB entries in flight, sampled once per cycle.
+    pub rob_occupancy: Histogram,
+    /// Reservation-station slots in use, sampled once per cycle.
+    pub rs_occupancy: Histogram,
+    /// Load-queue slots in use, sampled once per cycle.
+    pub lq_occupancy: Histogram,
+    /// Store-queue slots in use, sampled once per cycle.
+    pub sq_occupancy: Histogram,
+    /// L1D misses outstanding (MSHR utilization), sampled once per cycle.
+    pub mshr_inflight: Histogram,
+    /// Cycles from a register being born tainted at rename to its untaint
+    /// broadcast (registers that die tainted are not counted).
+    pub taint_latency: Log2Histogram,
+    /// Per-transmitter total cycles blocked by the protection gate
+    /// (recorded at retire; zero-delay transmitters are included so the
+    /// distribution has a baseline).
+    pub xmit_delay: Log2Histogram,
+    /// Per-physical-register taint birth cycle + 1 (0 = not tainted),
+    /// feeding `taint_latency`.
+    taint_born: Vec<u64>,
+}
+
+impl Telemetry {
+    /// Creates an empty telemetry block for a machine with `num_phys`
+    /// physical registers.
+    pub fn new(num_phys: usize) -> Telemetry {
+        Telemetry {
+            rob_occupancy: Histogram::new(8),
+            rs_occupancy: Histogram::new(4),
+            lq_occupancy: Histogram::new(2),
+            sq_occupancy: Histogram::new(2),
+            mshr_inflight: Histogram::new(1),
+            taint_latency: Log2Histogram::new(),
+            xmit_delay: Log2Histogram::new(),
+            taint_born: vec![0; num_phys],
+        }
+    }
+
+    /// Notes that `phys` was born tainted at `cycle`.
+    pub fn on_taint(&mut self, phys: PhysReg, cycle: u64) {
+        if let Some(slot) = self.taint_born.get_mut(phys as usize) {
+            *slot = cycle + 1;
+        }
+    }
+
+    /// Notes that `phys` was untainted at `cycle`, recording the
+    /// taint-to-untaint latency if the birth was seen.
+    pub fn on_untaint(&mut self, phys: PhysReg, cycle: u64) {
+        if let Some(slot) = self.taint_born.get_mut(phys as usize) {
+            if *slot > 0 {
+                self.taint_latency.record(cycle.saturating_sub(*slot - 1));
+                *slot = 0;
+            }
+        }
+    }
+
+    /// Notes that `phys` was rolled back by a squash while still tainted —
+    /// its birth no longer corresponds to a live register.
+    pub fn on_squash_reg(&mut self, phys: PhysReg) {
+        if let Some(slot) = self.taint_born.get_mut(phys as usize) {
+            *slot = 0;
+        }
+    }
+
+    /// Renders every histogram as one JSON object (the `telemetry` section
+    /// of the stats document).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("rob_occupancy", self.rob_occupancy.to_json()),
+            ("rs_occupancy", self.rs_occupancy.to_json()),
+            ("lq_occupancy", self.lq_occupancy.to_json()),
+            ("sq_occupancy", self.sq_occupancy.to_json()),
+            ("mshr_inflight", self.mshr_inflight.to_json()),
+            ("taint_to_untaint_cycles", self.taint_latency.to_json()),
+            ("transmitter_delay_cycles", self.xmit_delay.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taint_latency_measures_birth_to_broadcast() {
+        let mut t = Telemetry::new(8);
+        t.on_taint(3, 10);
+        t.on_untaint(3, 25);
+        assert_eq!(t.taint_latency.samples(), 1);
+        assert_eq!(t.taint_latency.max(), 15);
+        // A second untaint of the same register without a rebirth is a
+        // no-op.
+        t.on_untaint(3, 30);
+        assert_eq!(t.taint_latency.samples(), 1);
+    }
+
+    #[test]
+    fn squashed_registers_do_not_pollute_latency() {
+        let mut t = Telemetry::new(8);
+        t.on_taint(2, 5);
+        t.on_squash_reg(2);
+        t.on_untaint(2, 1000);
+        assert_eq!(t.taint_latency.samples(), 0);
+    }
+
+    #[test]
+    fn out_of_range_phys_ignored() {
+        let mut t = Telemetry::new(4);
+        t.on_taint(100, 1);
+        t.on_untaint(100, 2);
+        assert_eq!(t.taint_latency.samples(), 0);
+    }
+
+    #[test]
+    fn json_has_all_sections() {
+        let t = Telemetry::new(4);
+        let j = t.to_json();
+        for key in [
+            "rob_occupancy",
+            "rs_occupancy",
+            "lq_occupancy",
+            "sq_occupancy",
+            "mshr_inflight",
+            "taint_to_untaint_cycles",
+            "transmitter_delay_cycles",
+        ] {
+            assert!(j.get(key).is_some(), "missing {key}");
+        }
+    }
+}

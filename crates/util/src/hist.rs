@@ -1,0 +1,252 @@
+//! Small fixed-overhead histograms for run telemetry.
+//!
+//! Two shapes cover everything the observability layer records:
+//!
+//! * [`Histogram`] — linear buckets of configurable width, auto-growing.
+//!   Used for per-cycle structure occupancy (ROB/RS/LQ/SQ, MSHRs in
+//!   flight) where the domain is small and bounded by a config knob.
+//! * [`Log2Histogram`] — one bucket per bit-length. Used for latency
+//!   distributions (taint-to-untaint, transmitter delay) whose tails are
+//!   long and where the interesting resolution is "tens vs. thousands of
+//!   cycles", not exact counts.
+//!
+//! Both render to [`Json`] with explicit bucket bounds so downstream
+//! tooling never has to re-derive the bucketing scheme.
+
+use crate::json::Json;
+
+/// A linear-bucket histogram over `u64` samples.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    bucket_width: u64,
+    counts: Vec<u64>,
+    samples: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram whose bucket `i` counts samples in
+    /// `[i*width, (i+1)*width)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is zero.
+    pub fn new(bucket_width: u64) -> Self {
+        assert!(bucket_width > 0, "histogram bucket width must be positive");
+        Histogram { bucket_width, counts: Vec::new(), samples: 0, sum: 0, max: 0 }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = (value / self.bucket_width) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.samples += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Largest sample recorded (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of all samples (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.samples as f64
+        }
+    }
+
+    /// Count in bucket `i` (0 beyond the populated range).
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.counts.get(i).copied().unwrap_or(0)
+    }
+
+    /// Renders as a JSON object with bucket bounds, counts, and summary
+    /// statistics.
+    pub fn to_json(&self) -> Json {
+        let buckets = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                Json::obj([
+                    ("lo", Json::U64(i as u64 * self.bucket_width)),
+                    ("hi", Json::U64((i as u64 + 1) * self.bucket_width)),
+                    ("count", Json::U64(c)),
+                ])
+            })
+            .collect::<Vec<_>>();
+        Json::obj([
+            ("kind", Json::str("linear")),
+            ("bucket_width", Json::U64(self.bucket_width)),
+            ("samples", Json::U64(self.samples)),
+            ("sum", Json::U64(self.sum)),
+            ("max", Json::U64(self.max)),
+            ("mean", Json::F64(self.mean())),
+            ("buckets", Json::Arr(buckets)),
+        ])
+    }
+}
+
+/// A power-of-two-bucket histogram: bucket `i` counts samples whose bit
+/// length is `i`, i.e. bucket 0 holds the value 0, bucket `i >= 1` holds
+/// `[2^(i-1), 2^i)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Log2Histogram {
+    counts: [u64; 65],
+    samples: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram { counts: [0; 65], samples: 0, sum: 0, max: 0 }
+    }
+}
+
+impl Log2Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = (u64::BITS - value.leading_zeros()) as usize;
+        self.counts[idx] += 1;
+        self.samples += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Largest sample recorded (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of all samples (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.samples as f64
+        }
+    }
+
+    /// Count of samples with bit length `i` (bucket 0 = the value 0).
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Renders as a JSON object with bucket bounds, counts, and summary
+    /// statistics.
+    pub fn to_json(&self) -> Json {
+        let buckets = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = if i == 0 { (0, 1) } else { (1u64 << (i - 1), 1u64 << i) };
+                Json::obj([("lo", Json::U64(lo)), ("hi", Json::U64(hi)), ("count", Json::U64(c))])
+            })
+            .collect::<Vec<_>>();
+        Json::obj([
+            ("kind", Json::str("log2")),
+            ("samples", Json::U64(self.samples)),
+            ("sum", Json::U64(self.sum)),
+            ("max", Json::U64(self.max)),
+            ("mean", Json::F64(self.mean())),
+            ("buckets", Json::Arr(buckets)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_buckets_and_stats() {
+        let mut h = Histogram::new(4);
+        for v in [0, 1, 3, 4, 7, 12] {
+            h.record(v);
+        }
+        assert_eq!(h.samples(), 6);
+        assert_eq!(h.max(), 12);
+        assert_eq!(h.bucket(0), 3); // 0, 1, 3
+        assert_eq!(h.bucket(1), 2); // 4, 7
+        assert_eq!(h.bucket(2), 0);
+        assert_eq!(h.bucket(3), 1); // 12
+        assert!((h.mean() - 27.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_json_has_bounds() {
+        let mut h = Histogram::new(10);
+        h.record(5);
+        h.record(25);
+        let j = h.to_json();
+        let buckets = j.get("buckets").and_then(Json::as_arr).unwrap();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].get("lo").and_then(Json::as_u64), Some(0));
+        assert_eq!(buckets[1].get("lo").and_then(Json::as_u64), Some(20));
+        assert_eq!(buckets[1].get("hi").and_then(Json::as_u64), Some(30));
+    }
+
+    #[test]
+    fn log2_bucket_edges() {
+        let mut h = Log2Histogram::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1023, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.bucket(0), 1); // 0
+        assert_eq!(h.bucket(1), 1); // 1
+        assert_eq!(h.bucket(2), 2); // 2, 3
+        assert_eq!(h.bucket(3), 2); // 4, 7
+        assert_eq!(h.bucket(4), 1); // 8..16
+        assert_eq!(h.bucket(10), 1); // 512..1024
+        assert_eq!(h.bucket(11), 1); // 1024..2048
+        assert_eq!(h.samples(), 9);
+        assert_eq!(h.max(), 1024);
+    }
+
+    #[test]
+    fn log2_handles_u64_max() {
+        let mut h = Log2Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.bucket(64), 1);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn empty_histograms_render() {
+        assert_eq!(Histogram::new(1).to_json().get("samples").and_then(Json::as_u64), Some(0));
+        assert_eq!(Log2Histogram::new().mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_width_rejected() {
+        let _ = Histogram::new(0);
+    }
+}

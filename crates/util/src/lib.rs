@@ -1,8 +1,11 @@
 //! Shared infrastructure with no simulator dependencies: the bounded
 //! deterministic worker pool every sweep and fuzz driver fans out over
-//! ([`run_indexed`]), and a tiny platform-independent folding digest
+//! ([`run_indexed`]), a tiny platform-independent folding digest
 //! ([`Fnv64`]) used to summarize attacker-observable microarchitectural
-//! state.
+//! state, and the observability substrate — a hand-rolled [`Json`] tree
+//! (the workspace is offline, so no serde), telemetry [`Histogram`]s, and
+//! the [`TraceSink`] pipeline-trace plumbing with its gem5
+//! O3PipeView-compatible emitter.
 //!
 //! This crate sits at the bottom of the dependency DAG (next to `spt-isa`)
 //! precisely so that both the measurement side (`spt-bench`) and the
@@ -10,7 +13,16 @@
 //! depending on each other.
 
 pub mod digest;
+pub mod hist;
+pub mod json;
 pub mod pool;
+pub mod trace;
 
 pub use digest::Fnv64;
+pub use hist::{Histogram, Log2Histogram};
+pub use json::{Json, JsonError};
 pub use pool::{default_jobs, run_indexed};
+pub use trace::{
+    validate_o3_trace, InstRecord, MemorySink, O3PipeViewSink, O3TraceSummary, SptTraceEvent,
+    TraceHandle, TraceSink, TICKS_PER_CYCLE,
+};

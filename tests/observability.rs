@@ -1,0 +1,123 @@
+//! Observability-layer guarantees:
+//!
+//! * attaching a trace sink and enabling telemetry is *measurement only* —
+//!   cycle counts and attacker-observation digests are bit-identical to a
+//!   plain run of the same (workload, config) cell;
+//! * the emitted trace is well-formed O3PipeView and covers every retired
+//!   and squashed instruction;
+//! * a wedged program surfaces as a [`SweepError`] wrapping
+//!   [`SimError::Deadlock`] carrying the cell identity, not a panic.
+
+use spt_bench::runner::{prepare_machine, run_prepared, run_workload, SweepError};
+use spt_repro::core::{Config, ThreatModel};
+use spt_repro::isa::asm::Assembler;
+use spt_repro::isa::Reg;
+use spt_repro::ooo::SimError;
+use spt_repro::workloads::{ct_suite, spec_suite, Category, Scale, Workload};
+use spt_util::{validate_o3_trace, MemorySink, O3PipeViewSink};
+
+const BUDGET: u64 = 2_000;
+
+fn observed_configs() -> Vec<Config> {
+    vec![
+        Config::unsafe_baseline(ThreatModel::Futuristic),
+        Config::spt_full(ThreatModel::Futuristic),
+        Config::spt_full(ThreatModel::Spectre),
+        Config::stt(ThreatModel::Futuristic),
+    ]
+}
+
+#[test]
+fn tracing_and_telemetry_are_zero_cost() {
+    let mut workloads = vec![ct_suite(Scale::Bench)[1].clone()]; // chacha20
+    workloads.push(spec_suite(Scale::Bench)[1].clone()); // branchy SPEC proxy
+    for w in &workloads {
+        for cfg in observed_configs() {
+            let plain = run_workload(w, cfg, BUDGET).expect("plain run completes");
+            let mut m = prepare_machine(w, cfg);
+
+            let mut observed = prepare_machine(w, cfg);
+            observed.set_trace_sink(Box::new(MemorySink::new()));
+            observed.enable_telemetry();
+            let row = run_prepared(&mut observed, w, cfg, BUDGET).expect("traced run completes");
+
+            assert_eq!(plain.cycles, row.cycles, "{} under {cfg}: cycle count changed", w.name);
+            assert_eq!(plain.retired, row.retired, "{} under {cfg}: retired changed", w.name);
+            let _ = m.run(spt_repro::ooo::RunLimits::retired(BUDGET)).expect("digest run");
+            assert_eq!(
+                m.observation_digest(),
+                observed.observation_digest(),
+                "{} under {cfg}: attacker-observation digest changed with tracing on",
+                w.name
+            );
+            assert!(
+                observed.telemetry().expect("telemetry enabled").rob_occupancy.samples() > 0,
+                "telemetry sampled nothing"
+            );
+        }
+    }
+}
+
+#[test]
+fn o3_trace_is_well_formed_and_complete() {
+    let w = &ct_suite(Scale::Bench)[1]; // chacha20
+    let cfg = Config::spt_full(ThreatModel::Futuristic);
+    let dir = std::env::temp_dir().join("spt_observability_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("trace.out");
+    {
+        let mut m = prepare_machine(w, cfg);
+        let file = std::fs::File::create(&path).expect("create trace file");
+        m.set_trace_sink(Box::new(O3PipeViewSink::new(file)));
+        run_prepared(&mut m, w, cfg, BUDGET).expect("run completes");
+        m.take_trace_sink().expect("sink attached").flush().expect("flush");
+    }
+    let text = std::fs::read_to_string(&path).expect("read trace back");
+    let _ = std::fs::remove_dir_all(&dir);
+    let summary = validate_o3_trace(&text).expect("well-formed O3PipeView");
+    assert!(summary.retired >= BUDGET, "trace covers every retired instruction");
+    assert_eq!(
+        summary.instructions,
+        summary.retired + summary.squashed,
+        "every traced instruction either retired or was squashed"
+    );
+}
+
+/// A program whose only path runs off the end without `Halt`: fetch
+/// stalls waiting for a redirect that never comes, nothing retires, and
+/// the watchdog must fire.
+fn wedged_workload() -> Workload {
+    let mut a = Assembler::new();
+    a.mov_imm(Reg::R1, 7);
+    a.mov_imm(Reg::R2, 9);
+    let program = a.assemble().expect("assembles");
+    Workload {
+        name: "wedged",
+        category: Category::SpecInt,
+        description: "runs off the end without halting (watchdog test)",
+        program,
+        mem_init: vec![],
+        secret_ranges: vec![],
+    }
+}
+
+#[test]
+fn deadlock_watchdog_reports_cell_identity() {
+    let w = wedged_workload();
+    let cfg = Config::spt_full(ThreatModel::Futuristic);
+    let err: SweepError =
+        run_workload(&w, cfg, BUDGET).expect_err("wedged program must not complete");
+    assert_eq!(err.workload, "wedged");
+    assert_eq!(err.config, cfg.name());
+    assert_eq!(err.threat, ThreatModel::Futuristic);
+    match err.source {
+        SimError::Deadlock { cycle, retired, head_pc } => {
+            assert!(cycle > 100_000, "watchdog horizon respected (fired at {cycle})");
+            assert_eq!(retired, 2, "both movs retired before the wedge");
+            assert_eq!(head_pc, None, "ROB drained before the stall");
+        }
+    }
+    let text = err.to_string();
+    assert!(text.contains("wedged"), "display names the workload: {text}");
+    assert!(text.contains("deadlock"), "display names the failure: {text}");
+}
