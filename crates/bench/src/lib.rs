@@ -21,6 +21,7 @@
 pub mod cli;
 pub mod report;
 pub mod runner;
+pub mod simbench;
 pub mod statsdoc;
 
 pub use runner::{

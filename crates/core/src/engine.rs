@@ -24,7 +24,7 @@ use crate::config::Config;
 use crate::stats::{SptStats, UntaintKind};
 use crate::taint::TaintMask;
 use spt_isa::{InstClass, OperandRole};
-use std::collections::BTreeMap;
+use std::collections::{BTreeSet, VecDeque};
 
 /// Physical register identifier.
 pub type PhysReg = u32;
@@ -81,6 +81,114 @@ struct Slot {
     class: InstClass,
     srcs: [Option<(SlotReg, OperandRole)>; 3],
     dest: Option<SlotReg>,
+    /// Retired but kept visible to the rules for the commit-latency grace
+    /// window (see [`TaintEngine::retire`]).
+    in_grace: bool,
+}
+
+/// Replica address inside a slot: `0` is the destination, `1..=3` are the
+/// source operands by *array* index (holes never carry pending flags).
+/// Ordering `(seq, pos)` therefore enumerates pending broadcasts exactly
+/// as the paper requires: older slots first, destinations before sources.
+type ReplicaPos = (Seq, u8);
+
+const DEST_POS: u8 = 0;
+
+fn src_pos(array_idx: usize) -> u8 {
+    array_idx as u8 + 1
+}
+
+/// Order-stable slot storage keyed by sequence number.
+///
+/// Sequence numbers are monotonic and never reused (squash recovery drops
+/// a suffix; new instructions always get fresh numbers), so the live seq
+/// range is a window: a `VecDeque` indexed by `seq - base` gives O(1)
+/// lookup, insertion order *is* seq order (the broadcast priority order),
+/// and iteration never touches a hash function — the previous `BTreeMap`
+/// cost a pointer chase per lookup and the pre-slab engine scanned every
+/// entry per cycle.
+#[derive(Clone, Debug, Default)]
+struct SlotSlab {
+    /// Sequence number of `entries[0]`.
+    base: Seq,
+    /// One entry per seq in `[base, base + entries.len())`; `None` marks a
+    /// removed (retired/squashed) or never-inserted slot.
+    entries: VecDeque<Option<Slot>>,
+    /// Number of `Some` entries.
+    live: usize,
+}
+
+impl SlotSlab {
+    fn index(&self, seq: Seq) -> Option<usize> {
+        if seq < self.base {
+            return None;
+        }
+        let idx = (seq - self.base) as usize;
+        (idx < self.entries.len()).then_some(idx)
+    }
+
+    fn get(&self, seq: Seq) -> Option<&Slot> {
+        self.entries[self.index(seq)?].as_ref()
+    }
+
+    fn get_mut(&mut self, seq: Seq) -> Option<&mut Slot> {
+        let idx = self.index(seq)?;
+        self.entries[idx].as_mut()
+    }
+
+    fn contains(&self, seq: Seq) -> bool {
+        self.get(seq).is_some()
+    }
+
+    fn insert(&mut self, seq: Seq, slot: Slot) {
+        if self.entries.is_empty() {
+            self.base = seq;
+        }
+        assert!(
+            seq >= self.base,
+            "slot seq {seq} below slab base {} — seqs are never reused",
+            self.base
+        );
+        let idx = (seq - self.base) as usize;
+        while self.entries.len() <= idx {
+            self.entries.push_back(None);
+        }
+        if self.entries[idx].replace(slot).is_none() {
+            self.live += 1;
+        }
+    }
+
+    fn remove(&mut self, seq: Seq) -> Option<Slot> {
+        let idx = self.index(seq)?;
+        let slot = self.entries[idx].take();
+        if slot.is_some() {
+            self.live -= 1;
+            // Advance the window past leading holes so the deque tracks the
+            // in-flight span instead of the whole program.
+            while matches!(self.entries.front(), Some(None)) {
+                self.entries.pop_front();
+                self.base += 1;
+            }
+            if self.entries.is_empty() {
+                self.live = 0;
+            }
+        }
+        slot
+    }
+
+    /// Removes every slot with `seq >= from` (squash recovery).
+    fn truncate_from(&mut self, from: Seq) {
+        let keep = from.saturating_sub(self.base).min(self.entries.len() as u64) as usize;
+        while self.entries.len() > keep {
+            if self.entries.pop_back().flatten().is_some() {
+                self.live -= 1;
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
 }
 
 /// The registers untainted (broadcast) during one [`TaintEngine::step`].
@@ -91,11 +199,34 @@ pub struct StepResult {
 }
 
 /// The SPT taint-tracking engine (see module docs).
+///
+/// The engine is event-driven: instead of rescanning every slot per step,
+/// it maintains
+///
+/// * `deps` — per physical register, the slots holding a replica of it, so
+///   a broadcast touches exactly the slots that reference the register;
+/// * `pending_q` — the replica positions whose untaint flags await the
+///   broadcast bus, pre-sorted in bus priority order;
+/// * `rules_q` — the slots whose replicas changed since the rules last ran
+///   (a slot's rule outcome is a pure function of its own replicas, so an
+///   untouched slot can never newly fire).
+///
+/// All three are redundant indices over the slot replicas; every public
+/// entry point keeps them exact, and the results are bit-identical to the
+/// scan-everything engine (enforced by `tests/equivalence.rs`).
 #[derive(Clone, Debug)]
 pub struct TaintEngine {
     cfg: Config,
     reg_taint: Vec<TaintMask>,
-    slots: BTreeMap<Seq, Slot>,
+    slots: SlotSlab,
+    /// Per physical register: live slots holding a replica of it (stale
+    /// seqs are skipped and compacted when the list is next walked).
+    deps: Vec<Vec<Seq>>,
+    /// Replica positions with a set pending-untaint flag, in bus priority
+    /// order (older slots first, destination before sources).
+    pending_q: BTreeSet<ReplicaPos>,
+    /// Slots whose replicas changed since the last phase-1 pass.
+    rules_q: BTreeSet<Seq>,
     /// Pending broadcasts whose slot retired before the width-limited bus
     /// got to them; they keep highest priority (they are the oldest).
     orphans: Vec<(PhysReg, UntaintKind)>,
@@ -105,8 +236,13 @@ pub struct TaintEngine {
     /// more cycles (commit latency: the paper backward-untaints "to the
     /// head of the ROB", and real commit takes several stages; the instant
     /// retirement of this simulator would otherwise remove producers in the
-    /// same cycle their consumers' declassification broadcasts).
-    retired_grace: Vec<(Seq, u8)>,
+    /// same cycle their consumers' declassification broadcasts). Entries
+    /// are `(seq, expire_at)` against the `steps` counter; a slot finalized
+    /// early (recycled register) leaves a stale entry that expires as a
+    /// no-op.
+    grace_q: VecDeque<(Seq, u64)>,
+    /// Count of [`Self::step`] calls that reached aging (drives `grace_q`).
+    steps: u64,
     stats: SptStats,
 }
 
@@ -117,10 +253,14 @@ impl TaintEngine {
         TaintEngine {
             cfg,
             reg_taint: vec![TaintMask::ALL; num_phys],
-            slots: BTreeMap::new(),
+            slots: SlotSlab::default(),
+            deps: vec![Vec::new(); num_phys],
+            pending_q: BTreeSet::new(),
+            rules_q: BTreeSet::new(),
             orphans: Vec::new(),
             dirty: false,
-            retired_grace: Vec::new(),
+            grace_q: VecDeque::new(),
+            steps: 0,
             stats: SptStats::new(),
         }
     }
@@ -191,29 +331,37 @@ impl TaintEngine {
             SlotReg::new(phys, dest_taint)
         });
 
-        self.slots.insert(info.seq, Slot { class: info.class, srcs, dest });
+        // Index the new slot under every register it holds a replica of.
+        for (phys, _) in srcs.iter().flatten().map(|(r, role)| (r.phys, role)) {
+            self.deps[phys as usize].push(info.seq);
+        }
+        if let Some(d) = &dest {
+            self.deps[d.phys as usize].push(info.seq);
+        }
+        if self.cfg.untaint.forward() {
+            self.rules_q.insert(info.seq);
+        }
+        self.slots.insert(info.seq, Slot { class: info.class, srcs, dest, in_grace: false });
         dest_taint
     }
 
     /// Drops stale state referring to a recycled physical register: orphan
     /// broadcasts for it, and any grace-period retired slot that references
-    /// it (the slot's other pendings are preserved).
+    /// it (the slot's other pendings are preserved). Only the slots indexed
+    /// under the register are visited.
     fn purge_recycled_phys(&mut self, phys: PhysReg) {
         self.orphans.retain(|(p, _)| *p != phys);
-        let mut stale: Vec<Seq> = Vec::new();
-        for &(seq, _) in &self.retired_grace {
-            if let Some(slot) = self.slots.get(&seq) {
-                let refs = slot.dest.as_ref().is_some_and(|d| d.phys == phys)
-                    || slot.srcs.iter().flatten().any(|(r, _)| r.phys == phys);
-                if refs {
-                    stale.push(seq);
-                }
+        let list = std::mem::take(&mut self.deps[phys as usize]);
+        for &seq in &list {
+            if self.slots.get(seq).is_some_and(|s| s.in_grace) {
+                self.finalize_retire(seq, Some(phys));
             }
         }
-        for seq in stale {
-            self.finalize_retire(seq, Some(phys));
-            self.retired_grace.retain(|(s, _)| *s != seq);
-        }
+        // Compact: keep only seqs whose slot is still live (the finalized
+        // grace slots and any older stale entries drop out here).
+        let mut list = list;
+        list.retain(|&seq| self.slots.contains(seq));
+        self.deps[phys as usize] = list;
     }
 
     /// Whether source operand `idx` of slot `seq` is tainted in the slot's
@@ -221,7 +369,7 @@ impl TaintEngine {
     /// and absent operands read as public.
     pub fn operand_tainted(&self, seq: Seq, idx: usize) -> bool {
         self.slots
-            .get(&seq)
+            .get(seq)
             .and_then(|s| s.srcs.get(idx).and_then(|o| o.as_ref()))
             .is_some_and(|(r, _)| r.taint.any())
     }
@@ -229,18 +377,18 @@ impl TaintEngine {
     /// Whether every operand of `seq` that leaks at the VP (addresses,
     /// predicates, jump targets) is locally public.
     pub fn leak_operands_clear(&self, seq: Seq) -> bool {
-        let Some(slot) = self.slots.get(&seq) else { return true };
+        let Some(slot) = self.slots.get(seq) else { return true };
         slot.srcs.iter().flatten().all(|(r, role)| !role.leaks_at_vp() || r.taint.is_clear())
     }
 
     /// The slot-local taint mask of source operand `idx`, if present.
     pub fn operand_mask(&self, seq: Seq, idx: usize) -> Option<TaintMask> {
-        self.slots.get(&seq)?.srcs.get(idx)?.as_ref().map(|(r, _)| r.taint)
+        self.slots.get(seq)?.srcs.get(idx)?.as_ref().map(|(r, _)| r.taint)
     }
 
     /// The slot-local taint mask of the destination, if present.
     pub fn dest_mask(&self, seq: Seq) -> Option<TaintMask> {
-        self.slots.get(&seq)?.dest.as_ref().map(|r| r.taint)
+        self.slots.get(seq)?.dest.as_ref().map(|r| r.taint)
     }
 
     /// Declassifies the leak-role operands of `seq` — called when a
@@ -254,7 +402,7 @@ impl TaintEngine {
         if !self.cfg.untaint.forward() {
             return;
         }
-        let Some(slot) = self.slots.get_mut(&seq) else { return };
+        let Some(slot) = self.slots.get_mut(seq) else { return };
         let is_cf = slot.class == InstClass::ControlFlow;
         if is_cf && !branches {
             return;
@@ -262,10 +410,16 @@ impl TaintEngine {
         let kind =
             if is_cf { UntaintKind::DeclassifyBranch } else { UntaintKind::DeclassifyTransmit };
         let mut changed = false;
-        for src in slot.srcs.iter_mut().flatten() {
-            if src.1.leaks_at_vp() {
-                changed |= src.0.untaint(kind);
+        for (i, src) in slot.srcs.iter_mut().enumerate() {
+            if let Some(src) = src {
+                if src.1.leaks_at_vp() && src.0.untaint(kind) {
+                    self.pending_q.insert((seq, src_pos(i)));
+                    changed = true;
+                }
             }
+        }
+        if changed {
+            self.rules_q.insert(seq);
         }
         self.dirty |= changed;
     }
@@ -275,14 +429,18 @@ impl TaintEngine {
     /// load completion with shadow-L1/shadow-memory byte taint (§6.8) or
     /// store-to-load forwarding under `STLPublic` (§6.7).
     pub fn set_load_output(&mut self, seq: Seq, mask: TaintMask, kind: UntaintKind) {
-        let Some(slot) = self.slots.get_mut(&seq) else { return };
+        let Some(slot) = self.slots.get_mut(seq) else { return };
         let Some(dest) = slot.dest.as_mut() else { return };
         let new = dest.taint.intersect(mask);
         if new.is_clear() && dest.taint.any() {
-            dest.untaint(kind);
+            if dest.untaint(kind) {
+                self.pending_q.insert((seq, DEST_POS));
+            }
+            self.rules_q.insert(seq);
             self.dirty = true;
         } else {
             if new != dest.taint {
+                self.rules_q.insert(seq);
                 self.dirty = true;
             }
             dest.taint = new;
@@ -292,9 +450,11 @@ impl TaintEngine {
     /// Explicitly untaints source operand `idx` of `seq` (store-to-load
     /// backward untaint, §6.7 rule ②).
     pub fn untaint_operand(&mut self, seq: Seq, idx: usize, kind: UntaintKind) {
-        if let Some(slot) = self.slots.get_mut(&seq) {
+        if let Some(slot) = self.slots.get_mut(seq) {
             if let Some(Some((reg, _))) = slot.srcs.get_mut(idx) {
                 if reg.untaint(kind) {
+                    self.pending_q.insert((seq, src_pos(idx)));
+                    self.rules_q.insert(seq);
                     self.dirty = true;
                 }
             }
@@ -308,15 +468,18 @@ impl TaintEngine {
     /// rules for `RETIRE_GRACE` steps (commit latency), then is
     /// removed with un-broadcast untaint flags preserved as orphans.
     pub fn retire(&mut self, seq: Seq) {
-        if self.slots.contains_key(&seq) {
-            self.retired_grace.push((seq, Self::RETIRE_GRACE));
+        if let Some(slot) = self.slots.get_mut(seq) {
+            slot.in_grace = true;
+            // An entry expires on the (RETIRE_GRACE + 1)-th aging pass after
+            // retirement, matching the old decrement-to-zero counters.
+            self.grace_q.push_back((seq, self.steps + u64::from(Self::RETIRE_GRACE) + 1));
         }
     }
 
     /// Finally removes a retired slot, preserving pending broadcasts except
     /// for `skip_phys` (a recycled register whose old value is dead).
     fn finalize_retire(&mut self, seq: Seq, skip_phys: Option<PhysReg>) {
-        if let Some(slot) = self.slots.remove(&seq) {
+        if let Some(slot) = self.slots.remove(seq) {
             let mut keep = |r: &SlotReg| {
                 if let Some(kind) = r.pending {
                     if skip_phys != Some(r.phys) {
@@ -330,22 +493,23 @@ impl TaintEngine {
             for (r, _) in slot.srcs.iter().flatten() {
                 keep(r);
             }
+            for pos in DEST_POS..=src_pos(2) {
+                self.pending_q.remove(&(seq, pos));
+            }
+            self.rules_q.remove(&seq);
         }
     }
 
-    /// Ages the retired-slot grace periods (called once per step).
+    /// Ages the retired-slot grace periods (called once per step). Stale
+    /// entries (slots already finalized by a register recycle) expire as
+    /// no-ops.
     fn age_retired(&mut self) {
-        let mut expired: Vec<Seq> = Vec::new();
-        self.retired_grace.retain_mut(|(seq, ttl)| {
-            if *ttl == 0 {
-                expired.push(*seq);
-                false
-            } else {
-                *ttl -= 1;
-                true
+        self.steps += 1;
+        while let Some(&(seq, expire_at)) = self.grace_q.front() {
+            if expire_at > self.steps {
+                break;
             }
-        });
-        for seq in expired {
+            self.grace_q.pop_front();
             self.finalize_retire(seq, None);
         }
     }
@@ -354,17 +518,25 @@ impl TaintEngine {
     /// pending untaints are dropped: a squashed instruction's inference
     /// never happened architecturally.
     pub fn squash_from(&mut self, from: Seq) {
-        self.slots.split_off(&from);
+        self.slots.truncate_from(from);
+        let _ = self.pending_q.split_off(&(from, 0));
+        let _ = self.rules_q.split_off(&from);
     }
 
-    /// Phase 1: applies the §6.6 rules locally to every slot.
+    /// Phase 1: applies the §6.6 rules locally — but only to slots whose
+    /// replicas changed since the last pass (`rules_q`). A rule reads
+    /// nothing but its own slot's replicas, so an untouched slot that did
+    /// not fire before cannot fire now; visiting only the changed set is
+    /// exactly equivalent to the old visit-everything pass.
     fn apply_rules_locally(&mut self) {
         let fwd = self.cfg.untaint.forward();
         let bwd = self.cfg.untaint.backward();
         if !fwd {
             return;
         }
-        for slot in self.slots.values_mut() {
+        let queue = std::mem::take(&mut self.rules_q);
+        for &seq in &queue {
+            let Some(slot) = self.slots.get_mut(seq) else { continue };
             let mut src_tainted = [false; 3];
             let mut n_srcs = 0;
             for (r, _) in slot.srcs.iter().flatten() {
@@ -372,8 +544,11 @@ impl TaintEngine {
                 n_srcs += 1;
             }
             if let Some(dest) = slot.dest.as_mut() {
-                if dest.taint.any() && forward_untaints(slot.class, &src_tainted[..n_srcs]) {
-                    dest.untaint(UntaintKind::Forward);
+                if dest.taint.any()
+                    && forward_untaints(slot.class, &src_tainted[..n_srcs])
+                    && dest.untaint(UntaintKind::Forward)
+                {
+                    self.pending_q.insert((seq, DEST_POS));
                 }
             }
             if bwd {
@@ -382,9 +557,15 @@ impl TaintEngine {
                 // attacker can read; instructions without one don't apply.
                 if slot.dest.is_some() && !dest_tainted {
                     let back = backward_untaints(slot.class, &src_tainted[..n_srcs], dest_tainted);
-                    for (i, src) in slot.srcs.iter_mut().flatten().enumerate() {
-                        if back.get(i).copied().unwrap_or(false) {
-                            src.0.untaint(UntaintKind::Backward);
+                    let mut packed = 0;
+                    for i in 0..slot.srcs.len() {
+                        if let Some(src) = slot.srcs[i].as_mut() {
+                            if back.get(packed).copied().unwrap_or(false)
+                                && src.0.untaint(UntaintKind::Backward)
+                            {
+                                self.pending_q.insert((seq, src_pos(i)));
+                            }
+                            packed += 1;
                         }
                     }
                 }
@@ -400,74 +581,118 @@ impl TaintEngine {
         let mut chosen: Vec<(PhysReg, UntaintKind)> = Vec::new();
         let mut deferred = 0u64;
 
-        let consider = |phys: PhysReg,
-                        kind: UntaintKind,
-                        chosen: &mut Vec<(PhysReg, UntaintKind)>,
-                        reg_taint: &[TaintMask],
-                        deferred: &mut u64| {
-            if reg_taint[phys as usize].is_clear() {
-                return; // already public globally; nothing to broadcast
+        // Selection: orphans keep highest priority, then the queued pending
+        // replicas, which `(seq, pos)` ordering already lists oldest slot
+        // first with destinations before sources.
+        for &(phys, kind) in &self.orphans {
+            if self.reg_taint[phys as usize].is_clear() {
+                continue; // already public globally; nothing to broadcast
             }
             if chosen.iter().any(|(p, _)| *p == phys) {
-                return; // same register already selected this cycle
+                continue; // same register already selected this cycle
             }
             if chosen.len() < width {
                 chosen.push((phys, kind));
             } else {
-                *deferred += 1;
-            }
-        };
-
-        for &(phys, kind) in &self.orphans {
-            consider(phys, kind, &mut chosen, &self.reg_taint, &mut deferred);
-        }
-        for slot in self.slots.values() {
-            if let Some(d) = &slot.dest {
-                if let Some(kind) = d.pending {
-                    consider(d.phys, kind, &mut chosen, &self.reg_taint, &mut deferred);
-                }
-            }
-            for (r, _) in slot.srcs.iter().flatten() {
-                if let Some(kind) = r.pending {
-                    consider(r.phys, kind, &mut chosen, &self.reg_taint, &mut deferred);
-                }
+                deferred += 1;
             }
         }
+        // Every queued flag's register is globally tainted here: flags are
+        // only ever set on locally tainted replicas, local taint implies
+        // global taint, and the replica walk below strips the flags of every
+        // register it publishes the moment the register goes public. So the
+        // scan can stop once the bus is full — each unvisited entry either
+        // shares a chosen register (the old walk skipped it silently; the
+        // walk below consumes it) or is deferred, and the exact deferred
+        // count falls out as `queued - consumed` afterwards.
+        let queued = self.pending_q.len() as u64;
+        for &(seq, pos) in &self.pending_q {
+            if chosen.len() >= width {
+                break;
+            }
+            let slot = self.slots.get(seq).expect("pending_q references a live slot");
+            let r = if pos == DEST_POS {
+                slot.dest.as_ref().expect("pending dest replica exists")
+            } else {
+                &slot.srcs[pos as usize - 1].as_ref().expect("pending src replica exists").0
+            };
+            debug_assert!(
+                self.reg_taint[r.phys as usize].any(),
+                "queued pending flag for a globally public register"
+            );
+            let kind = r.pending.expect("queued replica has a pending flag");
+            if !chosen.iter().any(|(p, _)| *p == r.phys) {
+                chosen.push((r.phys, kind));
+            }
+        }
 
-        // Apply the selected broadcasts: global taint, every replica, and
-        // pending-flag resets. Pending flags whose register is already
-        // globally public carry no information and are dropped.
+        // Apply the selected broadcasts: global taint, then every replica
+        // of each chosen register — `deps` lists exactly the slots holding
+        // one, so nothing else is touched. A cleared replica can enable new
+        // rule firings in its slot, so those slots re-enter `rules_q`.
         for &(phys, kind) in &chosen {
             self.reg_taint[phys as usize] = TaintMask::NONE;
             self.stats.events[kind] += 1;
         }
-        let is_chosen = |phys: PhysReg| chosen.iter().any(|(p, _)| *p == phys);
-        let mut remaining = false;
-        for slot in self.slots.values_mut() {
-            if let Some(d) = slot.dest.as_mut() {
-                if is_chosen(d.phys) || self.reg_taint[d.phys as usize].is_clear() {
-                    if d.pending.is_some() || is_chosen(d.phys) {
+        let mut consumed = 0u64;
+        for &(phys, _) in &chosen {
+            let mut list = std::mem::take(&mut self.deps[phys as usize]);
+            list.retain(|&seq| {
+                let Some(slot) = self.slots.get_mut(seq) else { return false };
+                let mut touched = false;
+                if let Some(d) = slot.dest.as_mut() {
+                    if d.phys == phys {
                         d.taint = TaintMask::NONE;
-                        d.pending = None;
+                        if d.pending.take().is_some() {
+                            self.pending_q.remove(&(seq, DEST_POS));
+                            consumed += 1;
+                        }
+                        touched = true;
                     }
-                } else if d.pending.is_some() {
-                    remaining = true;
                 }
-            }
-            for (r, _) in slot.srcs.iter_mut().flatten() {
-                if is_chosen(r.phys) || self.reg_taint[r.phys as usize].is_clear() {
-                    if r.pending.is_some() || is_chosen(r.phys) {
-                        r.taint = TaintMask::NONE;
-                        r.pending = None;
+                for i in 0..slot.srcs.len() {
+                    if let Some((r, _)) = slot.srcs[i].as_mut() {
+                        if r.phys == phys {
+                            r.taint = TaintMask::NONE;
+                            if r.pending.take().is_some() {
+                                self.pending_q.remove(&(seq, src_pos(i)));
+                                consumed += 1;
+                            }
+                            touched = true;
+                        }
                     }
-                } else if r.pending.is_some() {
-                    remaining = true;
                 }
-            }
+                if touched {
+                    self.rules_q.insert(seq);
+                }
+                true
+            });
+            self.deps[phys as usize] = list;
         }
+
+        // Flags still queued all belong to registers the bus had no room
+        // for this cycle (the selection invariant above rules out stale
+        // public entries), so the old drop-public sweep over the whole
+        // queue is a no-op and the deferred tally is what the replica
+        // walks did not consume.
+        deferred += queued - consumed;
+        #[cfg(debug_assertions)]
+        for &(seq, _pos) in &self.pending_q {
+            let slot = self.slots.get(seq).expect("pending_q references a live slot");
+            let phys = if _pos == DEST_POS {
+                slot.dest.as_ref().expect("pending dest replica exists").phys
+            } else {
+                slot.srcs[_pos as usize - 1].as_ref().expect("pending src replica exists").0.phys
+            };
+            debug_assert!(
+                self.reg_taint[phys as usize].any(),
+                "pending flag survived for a globally public register"
+            );
+        }
+        let mut remaining = !self.pending_q.is_empty();
         self.orphans.retain(|(p, _)| {
             // Drop chosen and already-public orphans.
-            !is_chosen(*p) && self.reg_taint[*p as usize].any()
+            self.reg_taint[*p as usize].any()
         });
         remaining |= !self.orphans.is_empty();
 
@@ -857,6 +1082,64 @@ mod tests {
         let r = e.step();
         assert!(r.broadcasts.is_empty());
         assert!(e.reg_taint(2).any());
+    }
+
+    #[test]
+    fn broadcast_order_is_stable_across_insertion_histories() {
+        // The slab keys slots by sequence number, so broadcast priority is
+        // a pure function of the live slot set — independent of how the
+        // engine got there. Build the same final slots two ways (straight
+        // line vs. with an interleaved squashed wrong-path burst and an
+        // extra retired-then-purged slot) and demand identical broadcast
+        // streams.
+        let build_direct = |mut seqs: Vec<Seq>| -> TaintEngine {
+            let mut e = full();
+            seqs.sort_unstable();
+            for seq in seqs {
+                e.rename(RenameInfo {
+                    seq,
+                    class: InstClass::Load,
+                    srcs: [Some(((seq % 7) as PhysReg + 1, Address)), None, None],
+                    dest: Some(30 + (seq % 16) as PhysReg),
+                    load_bytes: Some(8),
+                });
+                e.declassify_vp(seq);
+            }
+            e
+        };
+        let seqs: Vec<Seq> = vec![2, 3, 5, 8, 13];
+        let mut a = build_direct(seqs.clone());
+
+        let mut b = full();
+        for (i, &seq) in seqs.iter().enumerate() {
+            b.rename(RenameInfo {
+                seq,
+                class: InstClass::Load,
+                srcs: [Some(((seq % 7) as PhysReg + 1, Address)), None, None],
+                dest: Some(30 + (seq % 16) as PhysReg),
+                load_bytes: Some(8),
+            });
+            b.declassify_vp(seq);
+            if i == 2 {
+                // Wrong-path burst: younger slots that are squashed away
+                // before the next right-path instruction arrives.
+                for wrong in 20..24u64 {
+                    b.rename(ri(wrong, InstClass::Lossy, &[(6, Data)], Some(50)));
+                }
+                b.squash_from(20);
+            }
+        }
+        for &seq in &seqs {
+            assert_eq!(a.operand_mask(seq, 0), b.operand_mask(seq, 0));
+        }
+        for _ in 0..12 {
+            assert_eq!(
+                a.step().broadcasts,
+                b.step().broadcasts,
+                "broadcast order must not depend on insertion history"
+            );
+        }
+        assert_eq!(a.stats().decision_digest(), b.stats().decision_digest());
     }
 
     #[test]

@@ -71,19 +71,24 @@ impl Ghr {
     pub fn fold(&self, hist_bits: u32, out_bits: u32) -> u32 {
         assert!(out_bits > 0 && out_bits <= 32);
         assert!(hist_bits <= Self::BITS);
+        // Word-at-a-time: gather each `out_bits`-wide chunk (the last one
+        // partial) straight out of the packed words instead of bit by bit.
         let mut acc: u32 = 0;
-        let mut chunk: u32 = 0;
-        let mut chunk_len = 0;
-        for i in 0..hist_bits {
-            chunk |= (self.bit(i) as u32) << chunk_len;
-            chunk_len += 1;
-            if chunk_len == out_bits {
-                acc ^= chunk;
-                chunk = 0;
-                chunk_len = 0;
+        let mut p = 0;
+        while p < hist_bits {
+            let take = out_bits.min(hist_bits - p);
+            let w = (p / 64) as usize;
+            let off = p % 64;
+            let mut chunk = self.words[w] >> off;
+            let got = 64 - off;
+            // `p + take <= 256` keeps this in bounds whenever it fires.
+            if got < take && w + 1 < Self::WORDS {
+                chunk |= self.words[w + 1] << got;
             }
+            let cmask = if take == 32 { u32::MAX } else { (1u32 << take) - 1 };
+            acc ^= (chunk as u32) & cmask;
+            p += take;
         }
-        acc ^= chunk;
         let mask = if out_bits == 32 { u32::MAX } else { (1u32 << out_bits) - 1 };
         acc & mask
     }

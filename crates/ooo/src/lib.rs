@@ -48,6 +48,7 @@ pub mod config;
 pub mod machine;
 pub mod rename;
 pub mod rob;
+mod sched;
 pub mod stats;
 pub mod telemetry;
 pub mod validate;

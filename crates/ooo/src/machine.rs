@@ -30,6 +30,7 @@
 use crate::config::CoreConfig;
 use crate::rename::RegisterFile;
 use crate::rob::{ExecState, RobEntry};
+use crate::sched::{RetiredLoadTable, Scheduler};
 use crate::stats::{MachineStats, RunOutcome, SimError, StopReason};
 use crate::telemetry::Telemetry;
 use crate::validate::SecurityValidator;
@@ -41,7 +42,83 @@ use spt_frontend::{Checkpoint, FetchPrediction, Frontend, PredictInfo};
 use spt_isa::{Inst, Program, Reg};
 use spt_mem::{Cache, HierarchyConfig, Level, MemSystem, Tlb};
 use spt_util::{InstRecord, SptTraceEvent, TraceHandle, TraceSink};
+use std::cmp::Reverse;
 use std::collections::VecDeque;
+
+/// O(1) seq → ROB index. The ROB is sorted by seq but squashes leave gaps,
+/// so index arithmetic alone is not enough; this keeps a sequence-keyed
+/// window over the in-flight range mapping each seq to its *absolute*
+/// dispatch position (stable under `pop_front`), from which the current
+/// physical index is `abs - popped`. The window only ever grows at the back
+/// (dispatch), shrinks at the front (retire), and truncates (squash) —
+/// mirroring the only three ways the ROB itself mutates.
+#[derive(Clone, Debug, Default)]
+struct RobIndex {
+    /// Seq corresponding to `win[0]` (meaningful while `win` is non-empty).
+    base: Seq,
+    /// Absolute dispatch position per seq; `u64::MAX` marks a squash gap.
+    win: VecDeque<u64>,
+    /// Entries retired off the ROB front so far.
+    popped: u64,
+    /// Entries ever dispatched (the next absolute position).
+    pushed: u64,
+}
+
+impl RobIndex {
+    const GAP: u64 = u64::MAX;
+
+    fn get(&self, seq: Seq) -> Option<usize> {
+        let off = seq.checked_sub(self.base)?;
+        match self.win.get(off as usize) {
+            Some(&abs) if abs != Self::GAP => Some((abs - self.popped) as usize),
+            _ => None,
+        }
+    }
+
+    /// Records a dispatch; seqs are strictly increasing, so any skipped
+    /// range (a squashed suffix refetched under fresh seqs) becomes gaps.
+    fn push(&mut self, seq: Seq) {
+        if self.win.is_empty() {
+            self.base = seq;
+        }
+        while self.base + (self.win.len() as u64) < seq {
+            self.win.push_back(Self::GAP);
+        }
+        self.win.push_back(self.pushed);
+        self.pushed += 1;
+    }
+
+    /// Records the head retiring, then sheds any leading gaps.
+    fn pop_front(&mut self) {
+        let abs = self.win.pop_front().expect("retired head is indexed");
+        debug_assert_eq!(abs, self.popped);
+        self.base += 1;
+        self.popped += 1;
+        while let Some(&Self::GAP) = self.win.front() {
+            self.win.pop_front();
+            self.base += 1;
+        }
+    }
+
+    /// Drops every seq younger than `seq` (suffix squash). Rolls `pushed`
+    /// back so absolute positions stay contiguous over the surviving
+    /// entries — the invariant `physical = abs - popped` depends on it.
+    fn squash_after(&mut self, seq: Seq) {
+        let keep = (seq + 1).saturating_sub(self.base);
+        if keep == 0 {
+            self.win.clear();
+        } else if (keep as usize) < self.win.len() {
+            self.win.truncate(keep as usize);
+        }
+        while let Some(&Self::GAP) = self.win.back() {
+            self.win.pop_back();
+        }
+        self.pushed = match self.win.back() {
+            Some(&abs) => abs + 1,
+            None => self.popped,
+        };
+    }
+}
 
 /// Limits for [`Machine::run`].
 #[derive(Clone, Copy, Debug)]
@@ -114,6 +191,7 @@ pub struct Machine {
     fe: Frontend,
     rf: RegisterFile,
     rob: VecDeque<RobEntry>,
+    rob_pos: RobIndex,
     fetch_q: VecDeque<Fetched>,
     engine: Option<TaintEngine>,
     stt: Option<SttTracker>,
@@ -133,7 +211,11 @@ pub struct Machine {
     /// When a broadcast untaints such an output, the §6.8 load rule ②
     /// applies (paper §8, proof case 3): the load is non-speculative, its
     /// address is public, so the read bytes become inferable.
-    retired_loads: VecDeque<RetiredLoad>,
+    retired_loads: RetiredLoadTable,
+    /// Event-driven scheduler bookkeeping: wakeup lists, ready queue,
+    /// completion heap, candidate index sets and the VP cursor (see
+    /// `sched` module docs). Pure acceleration structures over the ROB.
+    sched: Scheduler,
     /// Optional §8 model attacker cross-checking every untaint decision.
     validator: Option<SecurityValidator>,
     /// L1 instruction cache (Table 1: 32 KiB, 4-way, 2-cycle). Instructions
@@ -160,13 +242,6 @@ pub struct Machine {
     /// Opt-in occupancy/latency histograms; one null test per cycle when
     /// disabled.
     telemetry: Option<Box<Telemetry>>,
-}
-
-#[derive(Clone, Copy, Debug)]
-struct RetiredLoad {
-    phys: spt_core::PhysReg,
-    addr: u64,
-    bytes: u64,
 }
 
 impl Machine {
@@ -212,6 +287,7 @@ impl Machine {
             fe: Frontend::new(),
             rf: RegisterFile::new(core.num_phys),
             rob: VecDeque::with_capacity(core.rob_size),
+            rob_pos: RobIndex::default(),
             fetch_q: VecDeque::with_capacity(core.fetch_queue),
             engine,
             stt,
@@ -226,7 +302,8 @@ impl Machine {
             sq_used: 0,
             stats: MachineStats::default(),
             last_retire_cycle: 0,
-            retired_loads: VecDeque::with_capacity(128),
+            retired_loads: RetiredLoadTable::new(core.num_phys, 128),
+            sched: Scheduler::new(core.num_phys),
             validator: None,
             icache: Cache::new(spt_mem::CacheConfig {
                 geometry: spt_mem::CacheGeometry {
@@ -345,6 +422,24 @@ impl Machine {
     /// Number of live taint-engine slots (diagnostics).
     pub fn engine_live_slots(&self) -> Option<usize> {
         self.engine.as_ref().map(|e| e.live_slots())
+    }
+
+    /// Number of tracked recently retired loads (diagnostics; bounded by
+    /// the table capacity of 128).
+    pub fn retired_loads_live(&self) -> usize {
+        self.retired_loads.live()
+    }
+
+    /// O(1) seq → current ROB index via the side window; `None` means the
+    /// instruction was squashed or retired.
+    fn rob_index(&self, seq: Seq) -> Option<usize> {
+        let idx = self.rob_pos.get(seq);
+        debug_assert_eq!(
+            idx,
+            self.rob.binary_search_by_key(&seq, |e| e.seq).ok(),
+            "side index out of sync for seq {seq}"
+        );
+        idx
     }
 
     /// Read access to the validator (diagnostics).
@@ -512,24 +607,41 @@ impl Machine {
     // Visibility point
     // ------------------------------------------------------------------
 
-    /// Walks the ROB from the head marking entries that have reached the
-    /// visibility point, performs VP declassification (§6.6), and advances
-    /// the STT frontier.
+    /// Advances the visibility-point cursor over entries that have become
+    /// "self-ok", marking newly uncovered entries as having reached the
+    /// VP, performs VP declassification (§6.6), and advances the STT
+    /// frontier.
+    ///
+    /// Self-ok — whether this entry is non-speculative enough for younger
+    /// instructions — is monotone per entry (each conjunct only ever flips
+    /// towards ok while the entry lives), and the VP prefix survives both
+    /// retirement (head entries leave it) and squashes (only younger
+    /// entries are removed), so the persistent cursor visits each entry
+    /// O(1) times total instead of once per cycle.
     fn update_vp(&mut self) {
         let futuristic = matches!(self.prot.threat, spt_core::ThreatModel::Futuristic);
-        let mut all_older_ok = true;
-        let mut frontier: Option<Seq> = None;
-        let mut newly_vp: Vec<Seq> = Vec::new();
+        let len = self.rob.len();
+        let mut newly_vp = std::mem::take(&mut self.sched.newly_vp);
+        newly_vp.clear();
 
-        for e in self.rob.iter_mut() {
-            if all_older_ok && !e.vp {
+        loop {
+            // Entries up to (and including) the cursor are at the VP.
+            while self.sched.vp_len < (self.sched.ok_count + 1).min(len) {
+                let e = &mut self.rob[self.sched.vp_len];
+                debug_assert!(!e.vp);
                 e.vp = true;
+                e.declassified = true;
                 newly_vp.push(e.seq);
+                self.sched.vp_len += 1;
+            }
+            if self.sched.ok_count >= len {
+                break;
             }
             // Is this entry itself non-speculative enough for younger
             // instructions? Spectre: only unresolved control flow keeps
             // younger instructions speculative. Futuristic: any incomplete
             // instruction does.
+            let e = &self.rob[self.sched.ok_count];
             let self_ok = if futuristic {
                 e.completed() && e.resolved && e.mem.pending_violation.is_none()
             } else {
@@ -544,13 +656,12 @@ impl Machine {
                     && (!e.is_store() || e.state != ExecState::Waiting)
                     && e.mem.pending_violation.is_none()
             };
-            if all_older_ok && e.vp && self_ok {
-                frontier = Some(e.seq);
-            }
             if !self_ok {
-                all_older_ok = false;
+                break;
             }
+            self.sched.ok_count += 1;
         }
+        let frontier = self.sched.ok_count.checked_sub(1).map(|i| self.rob[i].seq);
 
         if let Some(engine) = &mut self.engine {
             for &seq in &newly_vp {
@@ -560,11 +671,7 @@ impl Machine {
         if let (Some(stt), Some(f)) = (&mut self.stt, frontier) {
             stt.advance_vp_frontier(f);
         }
-        for e in self.rob.iter_mut() {
-            if e.vp && !e.declassified {
-                e.declassified = true;
-            }
-        }
+        self.sched.newly_vp = newly_vp;
     }
 
     // ------------------------------------------------------------------
@@ -664,6 +771,21 @@ impl Machine {
             }
 
             let head = self.rob.pop_front().expect("head exists");
+            self.rob_pos.pop_front();
+            // The retired head satisfied the retire condition, which
+            // implies self-ok under both threat models, so it was inside
+            // the VP cursor's prefix.
+            debug_assert!(self.sched.ok_count > 0 && self.sched.vp_len > 0);
+            self.sched.ok_count = self.sched.ok_count.saturating_sub(1);
+            self.sched.vp_len = self.sched.vp_len.saturating_sub(1);
+            if head.is_load() {
+                self.sched.loads.remove(&seq);
+                self.sched.fwd_loads.remove(&seq);
+                self.sched.shadow_wait.remove(&seq);
+            }
+            if head.is_store() {
+                self.sched.stores.remove(&seq);
+            }
             self.emit_inst(&head, Some(self.cycle), None);
             if let Some(t) = &mut self.telemetry {
                 if head.inst.is_transmitter() {
@@ -688,14 +810,7 @@ impl Machine {
                     {
                         // Already public: nothing more to track.
                     } else {
-                        if self.retired_loads.len() >= 128 {
-                            self.retired_loads.pop_front();
-                        }
-                        self.retired_loads.push_back(RetiredLoad {
-                            phys,
-                            addr,
-                            bytes: head.mem.bytes,
-                        });
+                        self.retired_loads.insert(phys, addr, head.mem.bytes);
                     }
                 }
             }
@@ -764,11 +879,10 @@ impl Machine {
             }
             if !matches!(self.prot.shadow, spt_core::ShadowMode::None) {
                 for &(phys, _) in &step.broadcasts {
-                    if let Some(pos) = self.retired_loads.iter().position(|r| r.phys == phys) {
-                        let r = self.retired_loads.remove(pos).expect("position valid");
+                    if let Some(r) = self.retired_loads.take(phys) {
                         self.shadow.clear_range(r.addr, r.bytes);
                         if let Some(v) = self.validator.as_mut() {
-                            v.on_mem_inferable(r.addr, r.bytes, r.phys);
+                            v.on_mem_inferable(r.addr, r.bytes, phys);
                         }
                     }
                 }
@@ -786,19 +900,17 @@ impl Machine {
         }
         let backward = engine.config().untaint.backward();
 
-        // Collect (load index) of forwarded loads.
-        let indices: Vec<usize> = self
-            .rob
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| e.is_load() && e.mem.fwd_from.is_some())
-            .map(|(i, _)| i)
-            .collect();
+        // Forwarded loads, oldest first (the scheduler tracks them).
+        let mut snapshot = std::mem::take(&mut self.sched.stl_snapshot);
+        snapshot.clear();
+        snapshot.extend(self.sched.fwd_loads.iter().copied());
 
-        for i in indices {
-            let (l_seq, s_seq, already_public) = {
+        for &l_seq in &snapshot {
+            let i = self.rob_pos.get(l_seq).expect("tracked forwarded load is in the ROB");
+            let (s_seq, already_public) = {
                 let l = &self.rob[i];
-                (l.seq, l.mem.fwd_from.expect("filtered"), l.mem.stl.is_some_and(|c| c.is_public()))
+                debug_assert!(l.is_load());
+                (l.mem.fwd_from.expect("tracked"), l.mem.stl.is_some_and(|c| c.is_public()))
             };
             let public = already_public || {
                 // ② all of the load's address operands are public,
@@ -806,12 +918,8 @@ impl Machine {
                 // ③ every store older than L and younger than or equal to S
                 // has a public address. Stores that already retired reached
                 // their VP, which declassified their addresses.
-                let stores_public = self.rob.iter().all(|s| {
-                    !s.is_store()
-                        || s.seq < s_seq
-                        || s.seq >= l_seq
-                        || engine.leak_operands_clear(s.seq)
-                });
+                let stores_public =
+                    self.sched.stores.range(s_seq..l_seq).all(|&s| engine.leak_operands_clear(s));
                 load_addr_public && stores_public
             };
             self.rob[i].mem.stl =
@@ -822,8 +930,7 @@ impl Machine {
             // Rule ①: forward untaint of the load output from the store's
             // data operand. If the store already retired we can no longer
             // observe its data taint; stay conservative.
-            let data_idx =
-                self.rob.iter().find(|s| s.seq == s_seq).and_then(|s| s.inst.store_data_src());
+            let data_idx = self.rob_pos.get(s_seq).and_then(|j| self.rob[j].inst.store_data_src());
             let Some(data_idx) = data_idx else { continue };
             if let Some(v) = self.validator.as_mut() {
                 v.on_stl_pair(l_seq, s_seq, data_idx);
@@ -852,29 +959,36 @@ impl Machine {
         // This is what lets hot, repeatedly-leaked data (jump tables,
         // indices, node pointers) become public in the shadow L1.
         if !matches!(self.prot.shadow, spt_core::ShadowMode::None) {
-            for i in 0..self.rob.len() {
+            // Candidates: completed, non-forwarded loads (writeback adds
+            // them to `shadow_wait`); they wait here until they reach the
+            // VP and their output untaints, or leave the ROB.
+            snapshot.clear();
+            snapshot.extend(self.sched.shadow_wait.iter().copied());
+            for &seq in &snapshot {
+                let i = self.rob_index(seq).expect("tracked load is in the ROB");
                 let e = &self.rob[i];
-                if !e.is_load()
-                    || e.state != ExecState::Done
-                    || !e.vp
-                    || e.mem.fwd_from.is_some()
-                    || e.mem.range_cleared
-                {
+                debug_assert!(
+                    e.is_load() && e.state == ExecState::Done && e.mem.fwd_from.is_none()
+                );
+                if !e.vp || e.mem.range_cleared {
                     continue;
                 }
                 let Some(addr) = e.mem.addr else { continue };
                 let engine = self.engine.as_ref().expect("stl_pass runs with engine");
-                if engine.dest_mask(e.seq).is_some_and(|m| m.is_clear()) {
+                if engine.dest_mask(seq).is_some_and(|m| m.is_clear()) {
                     let bytes = e.mem.bytes;
                     let phys = e.dest.map(|(_, p, _)| p);
                     self.shadow.clear_range(addr, bytes);
                     self.rob[i].mem.range_cleared = true;
+                    self.sched.shadow_wait.remove(&seq);
                     if let (Some(v), Some(p)) = (self.validator.as_mut(), phys) {
                         v.on_mem_inferable(addr, bytes, p);
                     }
                 }
             }
         }
+        snapshot.clear();
+        self.sched.stl_snapshot = snapshot;
     }
 
     // ------------------------------------------------------------------
@@ -882,12 +996,30 @@ impl Machine {
     // ------------------------------------------------------------------
 
     fn writeback(&mut self) {
-        for i in 0..self.rob.len() {
-            let e = &self.rob[i];
-            if e.state != ExecState::Issued || e.done_at > self.cycle {
-                continue;
+        // Pop due completions; skip heap entries whose instruction was
+        // squashed (seqs are never reused, so absence from the ROB — or a
+        // state other than `Issued` — means stale). Same-cycle
+        // completions must apply oldest-first (a younger load's shadow
+        // read-mask observes an older load's clear-range), so the due set
+        // is re-sorted by seq before processing.
+        let mut due = std::mem::take(&mut self.sched.due);
+        due.clear();
+        while let Some(&Reverse((t, seq))) = self.sched.completions.peek() {
+            if t > self.cycle {
+                break;
             }
-            let seq = e.seq;
+            self.sched.completions.pop();
+            if let Some(i) = self.rob_index(seq) {
+                if self.rob[i].state == ExecState::Issued {
+                    due.push(seq);
+                }
+            }
+        }
+        due.sort_unstable();
+        for &seq in &due {
+            let i = self.rob_index(seq).expect("validated on pop");
+            let e = &self.rob[i];
+            debug_assert!(e.state == ExecState::Issued && e.done_at <= self.cycle);
             let is_load = e.is_load();
             let dest = e.dest;
             let result = if is_load { self.rob[i].mem.value } else { self.rob[i].result };
@@ -895,11 +1027,46 @@ impl Machine {
             self.rob[i].timing.complete_cycle = Some(self.cycle);
             if let Some((_, phys, _)) = dest {
                 self.rf.write(phys, result);
+                self.wake_dependents(phys);
             }
             if is_load {
                 self.finish_load_taint(i, seq);
+                if self.rob[i].mem.fwd_from.is_none() && self.stl_shadow_tracking() {
+                    self.sched.shadow_wait.insert(seq);
+                }
             }
         }
+        due.clear();
+        self.sched.due = due;
+    }
+
+    /// Whether the post-hoc §6.8 rule-② pass at the end of `stl_pass` can
+    /// ever run (it needs the taint engine, forward untainting and a
+    /// shadow memory) — the gate for tracking `shadow_wait` candidates.
+    fn stl_shadow_tracking(&self) -> bool {
+        self.engine.is_some()
+            && self.prot.untaint.forward()
+            && !matches!(self.prot.shadow, spt_core::ShadowMode::None)
+    }
+
+    /// Wakes instructions waiting on `phys` after it was written: each
+    /// drops one pending operand and enters the ready queue at zero.
+    /// Stale seqs (squashed consumers of a previous life of `phys`) no
+    /// longer resolve to a ROB entry and are skipped.
+    fn wake_dependents(&mut self, phys: spt_core::PhysReg) {
+        let mut list = std::mem::take(&mut self.sched.waiters[phys as usize]);
+        for &seq in &list {
+            if let Some(i) = self.rob_index(seq) {
+                let e = &mut self.rob[i];
+                debug_assert!(e.state == ExecState::Waiting && e.pending_srcs > 0);
+                e.pending_srcs -= 1;
+                if e.pending_srcs == 0 {
+                    self.sched.ready.insert(seq);
+                }
+            }
+        }
+        list.clear();
+        self.sched.waiters[phys as usize] = list;
     }
 
     /// Applies the §6.8 load rules when a load's data arrives.
@@ -955,11 +1122,25 @@ impl Machine {
     }
 
     fn resolve(&mut self) {
-        // Branch resolution: apply effects for allowed, completed control
-        // flow; at most one squash per cycle (the oldest).
-        for i in 0..self.rob.len() {
+        let mut snapshot = std::mem::take(&mut self.sched.resolve_snapshot);
+        // At most one squash per cycle: violations are only considered
+        // when no branch squashed (short-circuit).
+        let _ = self.resolve_branches(&mut snapshot) || self.resolve_violations(&mut snapshot);
+        snapshot.clear();
+        self.sched.resolve_snapshot = snapshot;
+    }
+
+    /// Branch resolution: apply effects for allowed, completed control
+    /// flow, oldest first; at most one squash per cycle (the oldest).
+    /// Returns whether a squash happened.
+    fn resolve_branches(&mut self, snapshot: &mut Vec<Seq>) -> bool {
+        snapshot.clear();
+        snapshot.extend(self.sched.unresolved_cf.iter().copied());
+        for &seq in snapshot.iter() {
+            let i = self.rob_index(seq).expect("tracked control flow is in the ROB");
             let e = &self.rob[i];
-            if !e.inst.is_control_flow() || e.resolved || e.state != ExecState::Done {
+            debug_assert!(e.inst.is_control_flow() && !e.resolved);
+            if e.state != ExecState::Done {
                 continue;
             }
             if !self.resolution_allowed(e) {
@@ -968,9 +1149,9 @@ impl Machine {
             }
             let e = &mut self.rob[i];
             e.resolved = true;
+            self.sched.unresolved_cf.remove(&seq);
             let actual = e.actual_next.expect("executed control flow has a target");
             if actual != e.pred_next {
-                let seq = e.seq;
                 let pc = e.pc;
                 let inst = e.inst;
                 let taken = e.actual_taken;
@@ -986,14 +1167,20 @@ impl Machine {
                 self.fetch_stalled = false;
                 self.fetch_q.clear();
                 self.stats.squashes += 1;
-                return;
+                return true;
             }
         }
+        false
+    }
 
-        // Deferred memory-order violation squashes (§6.7): allowed when the
-        // implicit branch (the store/load addresses) is public or the store
-        // reached the VP.
-        for i in 0..self.rob.len() {
+    /// Deferred memory-order violation squashes (§6.7): allowed when the
+    /// implicit branch (the store/load addresses) is public or the store
+    /// reached the VP. Returns whether a squash happened.
+    fn resolve_violations(&mut self, snapshot: &mut Vec<Seq>) -> bool {
+        snapshot.clear();
+        snapshot.extend(self.sched.pending_viol.iter().copied());
+        for &seq in snapshot.iter() {
+            let i = self.rob_index(seq).expect("tracked store is in the ROB");
             let e = &self.rob[i];
             let Some(victim_seq) = e.mem.pending_violation else { continue };
             let allowed = match self.prot.kind {
@@ -1014,21 +1201,25 @@ impl Machine {
                 self.note_resolution_deferred(i);
                 continue;
             }
-            let Some(victim) = self.rob.iter().find(|v| v.seq == victim_seq) else {
+            let Some(vi) = self.rob_index(victim_seq) else {
                 self.rob[i].mem.pending_violation = None;
+                self.sched.pending_viol.remove(&seq);
                 continue;
             };
+            let victim = &self.rob[vi];
             let pc = victim.pc;
             let cp = victim.checkpoint.clone();
             self.squash_after(victim_seq - 1);
             self.rob[i].mem.pending_violation = None;
+            self.sched.pending_viol.remove(&seq);
             self.fe.restore(&cp);
             self.fetch_pc = pc;
             self.fetch_stalled = false;
             self.fetch_q.clear();
             self.stats.squashes += 1;
-            return;
+            return true;
         }
+        false
     }
 
     /// Removes every entry younger than `seq`, rolling back renaming.
@@ -1055,12 +1246,24 @@ impl Machine {
                 self.sq_used -= 1;
             }
         }
-        // Clear dangling violation victims and forwarding sources.
-        for e in self.rob.iter_mut() {
-            if e.mem.pending_violation.is_some_and(|v| v > seq) {
-                e.mem.pending_violation = None;
+        self.rob_pos.squash_after(seq);
+        self.sched.squash_from(seq + 1);
+        self.sched.ok_count = self.sched.ok_count.min(self.rob.len());
+        self.sched.vp_len = self.sched.vp_len.min(self.rob.len());
+        // Clear dangling violation victims (the completion heap and
+        // wakeup lists shed squashed seqs lazily).
+        let mut snapshot = std::mem::take(&mut self.sched.squash_snapshot);
+        snapshot.clear();
+        snapshot.extend(self.sched.pending_viol.iter().copied());
+        for &s in &snapshot {
+            let i = self.rob_index(s).expect("tracked store is in the ROB");
+            if self.rob[i].mem.pending_violation.is_some_and(|v| v > seq) {
+                self.rob[i].mem.pending_violation = None;
+                self.sched.pending_viol.remove(&s);
             }
         }
+        snapshot.clear();
+        self.sched.squash_snapshot = snapshot;
         if let Some(engine) = &mut self.engine {
             engine.squash_from(seq + 1);
         }
@@ -1096,16 +1299,20 @@ impl Machine {
     fn issue(&mut self) {
         let mut issued = 0;
         let mut mem_issued = 0;
-        for i in 0..self.rob.len() {
+        // The ready queue holds exactly the dispatched entries with all
+        // operands ready, in age order — the set and order the full ROB
+        // scan used to select. Entries blocked by a structural or
+        // protection gate stay queued and retry next cycle.
+        let mut snapshot = std::mem::take(&mut self.sched.ready_snapshot);
+        snapshot.clear();
+        snapshot.extend(self.sched.ready.iter().copied());
+        for &seq in &snapshot {
             if issued >= self.core.issue_width {
                 break;
             }
-            if self.rob[i].state != ExecState::Waiting {
-                continue;
-            }
-            if !self.srcs_ready(&self.rob[i]) {
-                continue;
-            }
+            let i = self.rob_index(seq).expect("ready entry is in the ROB");
+            debug_assert!(self.rob[i].state == ExecState::Waiting);
+            debug_assert!(self.srcs_ready(&self.rob[i]));
             let inst = self.rob[i].inst;
             match inst {
                 Inst::Load { .. } => {
@@ -1158,6 +1365,8 @@ impl Machine {
                 }
             }
         }
+        snapshot.clear();
+        self.sched.ready_snapshot = snapshot;
     }
 
     fn read_src(&self, e: &RobEntry, idx: usize) -> u64 {
@@ -1215,7 +1424,10 @@ impl Machine {
         e.done_at = self.cycle + latency;
         e.timing.issue_cycle = Some(self.cycle);
         e.in_rs = false;
+        let (seq, done_at) = (e.seq, e.done_at);
         self.rs_used -= 1;
+        self.sched.ready.remove(&seq);
+        self.sched.completions.push(Reverse((done_at, seq)));
     }
 
     /// Attempts to issue the load at ROB index `i`. Returns `false` if it
@@ -1229,11 +1441,9 @@ impl Machine {
 
         // Store-queue search, youngest older store first.
         let mut forward: Option<(Seq, u64)> = None;
-        for j in (0..i).rev() {
+        for &s_seq in self.sched.stores.range(..seq).rev() {
+            let j = self.rob_index(s_seq).expect("tracked store is in the ROB");
             let s = &self.rob[j];
-            if !s.is_store() {
-                continue;
-            }
             let Some(sa) = s.mem.addr else { continue }; // unknown address: speculate no-alias
             if RobEntry::range_covers(sa, s.mem.bytes, addr, bytes) {
                 // Full cover: forward the store's data.
@@ -1298,7 +1508,11 @@ impl Machine {
         e.timing.issue_cycle = Some(self.cycle);
         e.in_rs = false;
         self.rs_used -= 1;
-        let _ = seq;
+        self.sched.ready.remove(&seq);
+        self.sched.completions.push(Reverse((done_at, seq)));
+        if fwd_from.is_some() {
+            self.sched.fwd_loads.insert(seq);
+        }
         true
     }
 
@@ -1318,11 +1532,9 @@ impl Machine {
         let seq = e.seq;
 
         let mut forward: Option<(Seq, u64)> = None;
-        for j in (0..i).rev() {
+        for &s_seq in self.sched.stores.range(..seq).rev() {
+            let j = self.rob_index(s_seq).expect("tracked store is in the ROB");
             let s = &self.rob[j];
-            if !s.is_store() {
-                continue;
-            }
             let Some(sa) = s.mem.addr else { continue };
             if RobEntry::range_covers(sa, s.mem.bytes, addr, bytes) {
                 let shifted = s.mem.value >> (8 * (addr - sa));
@@ -1355,6 +1567,11 @@ impl Machine {
         e.timing.issue_cycle = Some(self.cycle);
         e.in_rs = false;
         self.rs_used -= 1;
+        self.sched.ready.remove(&seq);
+        self.sched.completions.push(Reverse((done_at, seq)));
+        if forward.is_some() {
+            self.sched.fwd_loads.insert(seq);
+        }
         true
     }
 
@@ -1370,9 +1587,10 @@ impl Machine {
         // Memory-order violation check: younger loads that already executed
         // with data not sourced from this store.
         let mut victim: Option<Seq> = None;
-        for k in (i + 1)..self.rob.len() {
+        for &l_seq in self.sched.loads.range(seq + 1..) {
+            let k = self.rob_index(l_seq).expect("tracked load is in the ROB");
             let l = &self.rob[k];
-            if !l.is_load() || l.state == ExecState::Waiting || !l.mem.accessed {
+            if l.state == ExecState::Waiting || !l.mem.accessed {
                 continue;
             }
             let Some(la) = l.mem.addr else { continue };
@@ -1398,11 +1616,15 @@ impl Machine {
         e.done_at = self.cycle + 1 + tlb_extra;
         e.timing.issue_cycle = Some(self.cycle);
         e.in_rs = false;
-        self.rs_used -= 1;
+        let done_at = e.done_at;
         if let Some(v) = victim {
             e.mem.pending_violation = Some(v);
             self.stats.mem_violations += 1;
+            self.sched.pending_viol.insert(seq);
         }
+        self.rs_used -= 1;
+        self.sched.ready.remove(&seq);
+        self.sched.completions.push(Reverse((done_at, seq)));
     }
 
     // ------------------------------------------------------------------
@@ -1441,8 +1663,10 @@ impl Machine {
             let dest = inst.dest().map(|arch| {
                 let (new, old) = self.rf.allocate(arch).expect("free list checked");
                 // A recycled physical register no longer refers to the
-                // retired load's value.
-                self.retired_loads.retain(|r| r.phys != new);
+                // retired load's value, and any leftover waiters belong to
+                // squashed consumers of its previous life.
+                self.retired_loads.clear_phys(new);
+                self.sched.waiters[new as usize].clear();
                 (arch, new, old)
             });
 
@@ -1511,13 +1735,33 @@ impl Machine {
             );
             entry.timing.fetch_cycle = fetch_cycle;
             entry.timing.rename_cycle = self.cycle;
+            // Scheduler dispatch: register on the wakeup list of every
+            // unready source (duplicates count once per operand slot), or
+            // go straight to the ready queue.
+            let mut pending = 0u8;
+            for &p in entry.srcs.iter().flatten() {
+                if !self.rf.is_ready(p) {
+                    self.sched.waiters[p as usize].push(seq);
+                    pending += 1;
+                }
+            }
+            entry.pending_srcs = pending;
+            if pending == 0 {
+                self.sched.ready.insert(seq);
+            }
             if entry.is_load() {
                 self.lq_used += 1;
+                self.sched.loads.insert(seq);
             }
             if entry.is_store() {
                 self.sq_used += 1;
+                self.sched.stores.insert(seq);
+            }
+            if entry.inst.is_control_flow() && !entry.resolved {
+                self.sched.unresolved_cf.insert(seq);
             }
             self.rs_used += 1;
+            self.rob_pos.push(entry.seq);
             self.rob.push_back(entry);
         }
     }
@@ -2327,6 +2571,57 @@ mod structural_tests {
             m.run(RunLimits::default()).unwrap();
             assert_eq!(m.reg(Reg::R4), expected, "{cfg}");
         }
+    }
+
+    /// The retired-load table (§6.8 rule-② tracking) must stay capacity-
+    /// bounded and evict its oldest live entry when full, with execution
+    /// still architecturally exact.
+    ///
+    /// Loads of secret data whose values are never consumed by a
+    /// transmitter retire tainted and are never declassified, so their
+    /// table entries persist until the destination register is recycled
+    /// through rename. The enlarged core lets every load rename before
+    /// most of them retire; after the last rename no allocation ever
+    /// recycles a register, so the entries accumulate past the 128-entry
+    /// capacity and the eviction path must run.
+    #[test]
+    fn retired_load_table_hits_capacity_and_stays_bounded() {
+        const LOADS: u64 = 300;
+        let mut a = Assembler::new();
+        a.mov_imm(Reg::R29, 0x6000);
+        for i in 0..LOADS {
+            // One cache line per load: every access misses, so retirement
+            // falls far behind fetch and the post-rename window holds well
+            // over 128 tainted loads.
+            a.ld(Reg::R1, Reg::R29, (64 * i) as i64);
+        }
+        a.halt();
+        let p = a.assemble().unwrap();
+
+        let core = CoreConfig {
+            rob_size: 384,
+            rs_size: 384,
+            lq_size: 384,
+            num_phys: 512,
+            ..CoreConfig::default()
+        };
+        let mut m = Machine::new(p, core, Config::spt_full(ThreatModel::Futuristic));
+        for i in 0..LOADS {
+            m.mem_mut().store().write(0x6000 + 64 * i, i * 7 + 3, 8);
+        }
+
+        let mut max_live = 0;
+        let mut cycles = 0u64;
+        while !m.halted() {
+            m.step_cycle();
+            let live = m.retired_loads_live();
+            assert!(live <= 128, "table exceeded its capacity: {live}");
+            max_live = max_live.max(live);
+            cycles += 1;
+            assert!(cycles < 100_000, "watchdog");
+        }
+        assert_eq!(max_live, 128, "the workload must fill the table and force eviction");
+        assert_eq!(m.reg(Reg::R1), (LOADS - 1) * 7 + 3);
     }
 
     /// Register-file pressure: a long dependence chain that renames every

@@ -81,6 +81,11 @@ pub struct RobEntry {
     pub result: u64,
     /// Whether the instruction still occupies a reservation-station slot.
     pub in_rs: bool,
+    /// Number of source operands still waiting on an unready physical
+    /// register (scheduler wakeup bookkeeping; duplicated sources count
+    /// once per slot). The entry sits in the ready queue iff it is
+    /// `Waiting` with `pending_srcs == 0`.
+    pub pending_srcs: u8,
     /// Frontend state snapshot taken before this instruction was predicted.
     pub checkpoint: Checkpoint,
     /// Predicted next PC (what fetch followed).
@@ -138,6 +143,7 @@ impl RobEntry {
             done_at: 0,
             result: 0,
             in_rs: true,
+            pending_srcs: 0,
             checkpoint,
             pred_next,
             pred_taken,

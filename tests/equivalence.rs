@@ -1,0 +1,210 @@
+//! Bit-identical-results contract for the event-driven scheduler rewrite.
+//!
+//! The hot-loop rewrite (VP-frontier cursor, per-phys wakeup lists,
+//! worklist untainting) is a pure performance change: every simulated
+//! cycle count, every `MachineStats` counter, and every
+//! attacker-observation digest must come out byte-identical to the
+//! pre-rewrite scheduler. This harness runs the full Figure-7 workload ×
+//! Table-2 config matrix under both threat models and compares each cell
+//! against goldens captured from the pre-rewrite code
+//! (`tests/data/equivalence_goldens.json`).
+//!
+//! Regenerating goldens (only legitimate when the *semantics* of the
+//! simulator deliberately change, never for a scheduling refactor):
+//!
+//! ```text
+//! SPT_BLESS_EQUIVALENCE=1 cargo test --release --test equivalence
+//! ```
+
+use spt_bench::runner::{default_jobs, prepare_machine, run_indexed};
+use spt_repro::core::{Config, ThreatModel};
+use spt_repro::ooo::RunLimits;
+use spt_repro::workloads::{full_suite, Scale, Workload};
+use spt_util::{Fnv64, Json};
+use std::path::PathBuf;
+
+/// Fixed retired-instruction budget. Small enough that the 400-cell
+/// matrix stays fast in debug builds; large enough that every pipeline
+/// mechanism (squash, STL forwarding, grace-window retirement, broadcast
+/// back-pressure) fires many times per cell.
+const BUDGET: u64 = 2_000;
+
+const SCHEMA: &str = "spt-equivalence-v1";
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/data/equivalence_goldens.json")
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct CellResult {
+    threat: ThreatModel,
+    config: String,
+    workload: String,
+    cycles: u64,
+    retired: u64,
+    /// FNV-1a of the serialized `MachineStats` document: any counter
+    /// drifting by one flips this.
+    stats_digest: u64,
+    /// The attacker-observation digest (transmit timing, cache/TLB state,
+    /// engine decision stream).
+    obs_digest: u64,
+}
+
+fn run_matrix() -> Vec<CellResult> {
+    spt_repro::workloads::set_input_seed(0);
+    let workloads: Vec<Workload> = full_suite(Scale::Bench);
+    let threats = [ThreatModel::Futuristic, ThreatModel::Spectre];
+    let mut cells: Vec<(ThreatModel, Config, usize)> = Vec::new();
+    for &threat in &threats {
+        for cfg in Config::table2(threat) {
+            for w in 0..workloads.len() {
+                cells.push((threat, cfg, w));
+            }
+        }
+    }
+    let results = run_indexed(cells.len(), default_jobs(), |i| {
+        let (threat, cfg, w) = cells[i];
+        let wl = &workloads[w];
+        let mut m = prepare_machine(wl, cfg);
+        let out = m
+            .run(RunLimits::retired(BUDGET))
+            .unwrap_or_else(|e| panic!("{} under {} [{threat}] wedged: {e}", wl.name, cfg.name()));
+        let mut stats = Fnv64::new();
+        stats.write_bytes(m.stats().to_json().to_string().as_bytes());
+        CellResult {
+            threat,
+            config: cfg.name().to_string(),
+            workload: wl.name.to_string(),
+            cycles: out.cycles,
+            retired: out.retired,
+            stats_digest: stats.finish(),
+            obs_digest: m.observation_digest(),
+        }
+    });
+    results
+}
+
+fn to_document(cells: &[CellResult]) -> Json {
+    Json::obj([
+        ("schema", Json::str(SCHEMA)),
+        ("budget", Json::U64(BUDGET)),
+        ("seed", Json::U64(0)),
+        (
+            "cells",
+            Json::arr(cells.iter().map(|c| {
+                Json::obj([
+                    ("threat", Json::str(c.threat.to_string())),
+                    ("config", Json::str(c.config.clone())),
+                    ("workload", Json::str(c.workload.clone())),
+                    ("cycles", Json::U64(c.cycles)),
+                    ("retired", Json::U64(c.retired)),
+                    ("stats", Json::str(format!("{:016x}", c.stats_digest))),
+                    ("obs", Json::str(format!("{:016x}", c.obs_digest))),
+                ])
+            })),
+        ),
+    ])
+}
+
+fn parse_threat(s: &str) -> ThreatModel {
+    match s {
+        "futuristic" => ThreatModel::Futuristic,
+        "spectre" => ThreatModel::Spectre,
+        other => panic!("golden file has unknown threat model `{other}`"),
+    }
+}
+
+fn hex_u64(v: &Json, key: &str) -> u64 {
+    let s = v.get(key).and_then(Json::as_str).unwrap_or_else(|| panic!("cell missing `{key}`"));
+    u64::from_str_radix(s, 16).unwrap_or_else(|e| panic!("cell `{key}` is not hex ({e})"))
+}
+
+fn from_document(doc: &Json) -> Vec<CellResult> {
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some(SCHEMA),
+        "golden file schema mismatch"
+    );
+    assert_eq!(
+        doc.get("budget").and_then(Json::as_u64),
+        Some(BUDGET),
+        "golden file captured at a different budget — regenerate deliberately"
+    );
+    doc.get("cells")
+        .and_then(Json::as_arr)
+        .expect("golden file has a `cells` array")
+        .iter()
+        .map(|c| CellResult {
+            threat: parse_threat(c.get("threat").and_then(Json::as_str).expect("threat")),
+            config: c.get("config").and_then(Json::as_str).expect("config").to_string(),
+            workload: c.get("workload").and_then(Json::as_str).expect("workload").to_string(),
+            cycles: c.get("cycles").and_then(Json::as_u64).expect("cycles"),
+            retired: c.get("retired").and_then(Json::as_u64).expect("retired"),
+            stats_digest: hex_u64(c, "stats"),
+            obs_digest: hex_u64(c, "obs"),
+        })
+        .collect()
+}
+
+#[test]
+fn scheduler_is_bit_identical_to_prerewrite_goldens() {
+    let cells = run_matrix();
+
+    if std::env::var_os("SPT_BLESS_EQUIVALENCE").is_some() {
+        let path = golden_path();
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create tests/data");
+        std::fs::write(&path, to_document(&cells).to_string_pretty() + "\n")
+            .expect("write goldens");
+        eprintln!("blessed {} cells into {}", cells.len(), path.display());
+        return;
+    }
+
+    let text = std::fs::read_to_string(golden_path()).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); capture goldens from the PRE-rewrite scheduler with \
+             SPT_BLESS_EQUIVALENCE=1",
+            golden_path().display()
+        )
+    });
+    let golden = from_document(&Json::parse(&text).expect("golden file parses"));
+    assert_eq!(
+        golden.len(),
+        cells.len(),
+        "matrix shape changed: golden has {} cells, run produced {}",
+        golden.len(),
+        cells.len()
+    );
+
+    let mut mismatches = Vec::new();
+    for (g, c) in golden.iter().zip(&cells) {
+        assert_eq!(
+            (&g.threat, &g.config, &g.workload),
+            (&c.threat, &c.config, &c.workload),
+            "cell order changed — matrix enumeration must stay stable"
+        );
+        if g != c {
+            mismatches.push(format!(
+                "{} / {} [{}]: cycles {} -> {}, retired {} -> {}, stats {:016x} -> {:016x}, \
+                 obs {:016x} -> {:016x}",
+                g.config,
+                g.workload,
+                g.threat,
+                g.cycles,
+                c.cycles,
+                g.retired,
+                c.retired,
+                g.stats_digest,
+                c.stats_digest,
+                g.obs_digest,
+                c.obs_digest
+            ));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "{} of {} cells diverged from the pre-rewrite scheduler:\n{}",
+        mismatches.len(),
+        cells.len(),
+        mismatches.join("\n")
+    );
+}
