@@ -155,7 +155,9 @@ fn main() {
             eprintln!("cannot create trace file {}: {e}", path.display());
             std::process::exit(1);
         });
-        m.set_trace_sink(Box::new(O3PipeViewSink::new(file)));
+        // Event lines (`SPTEvent:`) make the trace diffable by
+        // `tracediff`; Konata ignores them.
+        m.set_trace_sink(Box::new(O3PipeViewSink::with_events(file)));
     }
     if stats_json_path.is_some() {
         m.enable_telemetry();

@@ -11,6 +11,16 @@
 //!
 //! Serialization is `spt_util::Json` (hand-rolled; the workspace is
 //! offline), so documents round-trip exactly through `Json::parse`.
+//!
+//! # Schema history
+//!
+//! `spt-stats-v1` is additive-stable: consumers must ignore unknown keys.
+//! Additions so far (no version bump — strictly new fields):
+//!
+//! * telemetry histograms now carry `p50`/`p90`/`p99` summary fields
+//!   (bucket-upper-bound estimates, clamped to the observed max) next to
+//!   `mean`/`max`. A removal or meaning change of an existing field would
+//!   require bumping to `spt-stats-v2`.
 
 use crate::runner::{RunRow, SuiteMatrix};
 use spt_mem::CacheStats;

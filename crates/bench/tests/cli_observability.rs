@@ -43,6 +43,10 @@ fn run_spt_emits_valid_trace_and_stats_json() {
     let trace = std::fs::read_to_string(&trace_path).expect("trace written");
     let summary = validate_o3_trace(&trace).expect("trace is well-formed O3PipeView");
     assert!(summary.retired >= 2000, "trace covers the retired budget");
+    // `--trace` emits SPTEvent lines so the output is tracediff-ready; an
+    // SPT config taints at least one destination register.
+    assert!(summary.events > 0, "SPT trace carries SPTEvent lines");
+    assert!(trace.contains("\nSPTEvent:taint:"), "taint events present");
 
     // The stats document parses, carries the schema tag, and agrees with
     // the stats.txt dump on the headline counter.
@@ -63,6 +67,13 @@ fn run_spt_emits_valid_trace_and_stats_json() {
         .expect("numCycles line parses");
     assert_eq!(cycles, dumped, "JSON and stats.txt agree on cycle count");
     assert!(doc.get("telemetry").is_some(), "--stats-json enables telemetry histograms");
+    let rob = doc
+        .get("telemetry")
+        .and_then(|t| t.get("rob_occupancy"))
+        .expect("rob_occupancy histogram present");
+    for key in ["p50", "p90", "p99"] {
+        assert!(rob.get(key).and_then(Json::as_u64).is_some(), "histogram surfaces {key}");
+    }
     let digest = doc.get("observation_digest").and_then(Json::as_str).expect("digest present");
     assert!(
         digest.len() == 16 && digest.chars().all(|c| c.is_ascii_hexdigit()),

@@ -239,6 +239,12 @@ pub struct Machine {
     /// test) sink when attached. Never read by any stage, so it cannot
     /// affect timing. Cloning the machine yields a disabled handle.
     trace: TraceHandle,
+    /// Per-physical-register producer seq of the live taint episode, so
+    /// `Untaint` trace events can name the instruction whose output they
+    /// declassify. Written only when a trace sink is attached (grown
+    /// lazily from empty) and never read by any stage, so it cannot
+    /// affect timing.
+    taint_src: Vec<u64>,
     /// Opt-in occupancy/latency histograms; one null test per cycle when
     /// disabled.
     telemetry: Option<Box<Telemetry>>,
@@ -320,6 +326,7 @@ impl Machine {
             worst_mem_latency: 0,
             transmit_obs: spt_util::Fnv64::new(),
             trace: TraceHandle::disabled(),
+            taint_src: Vec::new(),
             telemetry: None,
         };
         {
@@ -866,10 +873,13 @@ impl Machine {
             if self.trace.enabled() || self.telemetry.is_some() {
                 for &(phys, kind) in &step.broadcasts {
                     let cycle = self.cycle;
+                    // Producer seq of the episode being closed (0 when the
+                    // birth was never observed, e.g. sink attached late).
+                    let seq = self.taint_src.get(phys as usize).copied().unwrap_or(0);
                     if let Some(sink) = self.trace.sink() {
                         sink.event(
                             cycle,
-                            &SptTraceEvent::Untaint { phys, mechanism: kind.label() },
+                            &SptTraceEvent::Untaint { phys, mechanism: kind.label(), seq },
                         );
                     }
                     if let Some(t) = &mut self.telemetry {
@@ -1702,6 +1712,13 @@ impl Machine {
                 if !dest_taint.is_clear() {
                     if let Some((_, new, _)) = dest {
                         let cycle = self.cycle;
+                        if self.trace.enabled() {
+                            let idx = new as usize;
+                            if idx >= self.taint_src.len() {
+                                self.taint_src.resize(idx + 1, 0);
+                            }
+                            self.taint_src[idx] = seq;
+                        }
                         if let Some(sink) = self.trace.sink() {
                             sink.event(cycle, &SptTraceEvent::TaintDest { seq, phys: new });
                         }

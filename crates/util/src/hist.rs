@@ -73,6 +73,24 @@ impl Histogram {
         self.counts.get(i).copied().unwrap_or(0)
     }
 
+    /// Upper-bound estimate of the `p`-quantile (`p` in `(0, 1]`): the
+    /// inclusive upper edge of the bucket holding the `⌈p·samples⌉`-th
+    /// smallest sample, clamped to the observed maximum. 0 if empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        percentile_rank(self.samples, p)
+            .map(|rank| {
+                let mut seen = 0u64;
+                for (i, &c) in self.counts.iter().enumerate() {
+                    seen += c;
+                    if seen >= rank {
+                        return ((i as u64 + 1) * self.bucket_width - 1).min(self.max);
+                    }
+                }
+                self.max
+            })
+            .unwrap_or(0)
+    }
+
     /// Renders as a JSON object with bucket bounds, counts, and summary
     /// statistics.
     pub fn to_json(&self) -> Json {
@@ -96,9 +114,22 @@ impl Histogram {
             ("sum", Json::U64(self.sum)),
             ("max", Json::U64(self.max)),
             ("mean", Json::F64(self.mean())),
+            ("p50", Json::U64(self.percentile(0.50))),
+            ("p90", Json::U64(self.percentile(0.90))),
+            ("p99", Json::U64(self.percentile(0.99))),
             ("buckets", Json::Arr(buckets)),
         ])
     }
+}
+
+/// Bucket-walk target for a quantile: the 1-based rank of the sample the
+/// `p`-quantile falls on, or `None` for an empty histogram.
+fn percentile_rank(samples: u64, p: f64) -> Option<u64> {
+    if samples == 0 {
+        return None;
+    }
+    let p = p.clamp(0.0, 1.0);
+    Some(((p * samples as f64).ceil() as u64).clamp(1, samples))
 }
 
 /// A power-of-two-bucket histogram: bucket `i` counts samples whose bit
@@ -157,6 +188,31 @@ impl Log2Histogram {
         self.counts[i]
     }
 
+    /// Upper-bound estimate of the `p`-quantile (`p` in `(0, 1]`): the
+    /// inclusive upper edge of the bucket holding the `⌈p·samples⌉`-th
+    /// smallest sample, clamped to the observed maximum. 0 if empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        percentile_rank(self.samples, p)
+            .map(|rank| {
+                let mut seen = 0u64;
+                for (i, &c) in self.counts.iter().enumerate() {
+                    seen += c;
+                    if seen >= rank {
+                        let hi = if i == 0 {
+                            0
+                        } else if i == 64 {
+                            u64::MAX
+                        } else {
+                            (1u64 << i) - 1
+                        };
+                        return hi.min(self.max);
+                    }
+                }
+                self.max
+            })
+            .unwrap_or(0)
+    }
+
     /// Renders as a JSON object with bucket bounds, counts, and summary
     /// statistics.
     pub fn to_json(&self) -> Json {
@@ -176,6 +232,9 @@ impl Log2Histogram {
             ("sum", Json::U64(self.sum)),
             ("max", Json::U64(self.max)),
             ("mean", Json::F64(self.mean())),
+            ("p50", Json::U64(self.percentile(0.50))),
+            ("p90", Json::U64(self.percentile(0.90))),
+            ("p99", Json::U64(self.percentile(0.99))),
             ("buckets", Json::Arr(buckets)),
         ])
     }
@@ -248,5 +307,61 @@ mod tests {
     #[should_panic(expected = "bucket width")]
     fn zero_width_rejected() {
         let _ = Histogram::new(0);
+    }
+
+    #[test]
+    fn linear_percentiles() {
+        let mut h = Histogram::new(1);
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // Width-1 buckets make the bucket upper bound exact.
+        assert_eq!(h.percentile(0.50), 50);
+        assert_eq!(h.percentile(0.90), 90);
+        assert_eq!(h.percentile(0.99), 99);
+        assert_eq!(h.percentile(1.0), 100);
+        // Coarse buckets report the bucket's inclusive upper edge,
+        // clamped to the observed max.
+        let mut c = Histogram::new(10);
+        c.record(3);
+        c.record(4);
+        c.record(27);
+        assert_eq!(c.percentile(0.50), 9);
+        assert_eq!(c.percentile(0.99), 27); // bucket hi 29 clamped to max
+        assert_eq!(Histogram::new(4).percentile(0.5), 0); // empty
+    }
+
+    #[test]
+    fn log2_percentiles() {
+        let mut h = Log2Histogram::new();
+        for _ in 0..90 {
+            h.record(1);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        assert_eq!(h.percentile(0.50), 1);
+        assert_eq!(h.percentile(0.90), 1);
+        assert_eq!(h.percentile(0.99), 1000); // bucket hi 1023 clamped to max
+        let mut z = Log2Histogram::new();
+        z.record(0);
+        assert_eq!(z.percentile(0.99), 0);
+        z.record(u64::MAX);
+        assert_eq!(z.percentile(1.0), u64::MAX);
+        assert_eq!(Log2Histogram::new().percentile(0.5), 0); // empty
+    }
+
+    #[test]
+    fn percentiles_in_json() {
+        let mut h = Histogram::new(1);
+        for v in 1..=10u64 {
+            h.record(v);
+        }
+        let j = h.to_json();
+        assert_eq!(j.get("p50").and_then(Json::as_u64), Some(5));
+        assert_eq!(j.get("p90").and_then(Json::as_u64), Some(9));
+        assert_eq!(j.get("p99").and_then(Json::as_u64), Some(10));
+        let lj = Log2Histogram::new().to_json();
+        assert_eq!(lj.get("p99").and_then(Json::as_u64), Some(0));
     }
 }

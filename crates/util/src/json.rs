@@ -90,6 +90,24 @@ impl Json {
         }
     }
 
+    /// The value as an `i64` (unsigned values narrow when in range), if
+    /// integral.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Json::I64(v) => Some(v),
+            Json::U64(v) => i64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `bool`, if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
     /// The value as an `f64` (integers widen), if numeric.
     pub fn as_f64(&self) -> Option<f64> {
         match *self {

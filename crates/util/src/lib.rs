@@ -23,6 +23,7 @@ pub use hist::{Histogram, Log2Histogram};
 pub use json::{Json, JsonError};
 pub use pool::{default_jobs, run_indexed};
 pub use trace::{
-    validate_o3_trace, InstRecord, MemorySink, O3PipeViewSink, O3TraceSummary, SptTraceEvent,
-    TraceHandle, TraceSink, TICKS_PER_CYCLE,
+    parse_o3_trace, validate_o3_trace, InstRecord, MemorySink, O3PipeViewSink, O3TraceSummary,
+    OwnedInstRecord, ParsedEvent, ParsedEventKind, ParsedTrace, SptTraceEvent, TraceHandle,
+    TraceSink, TICKS_PER_CYCLE,
 };

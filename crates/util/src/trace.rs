@@ -1,6 +1,8 @@
 //! Pipeline trace plumbing: the [`TraceSink`] trait, the cheap
-//! [`TraceHandle`] probe the simulator carries, and a gem5
-//! O3PipeView-compatible emitter whose output loads directly in Konata.
+//! [`TraceHandle`] probe the simulator carries, a gem5
+//! O3PipeView-compatible emitter whose output loads directly in Konata —
+//! and the matching strict parser ([`parse_o3_trace`]) the attribution
+//! tooling (`spt-attrib`) builds on.
 //!
 //! The design goal is *zero cost when disabled*: the machine carries a
 //! `TraceHandle` (an `Option<Box<dyn TraceSink>>` newtype) and checks
@@ -28,6 +30,27 @@
 //! Squashed instructions carry `retire:0` (Konata greys them out). Records
 //! are flushed per instruction at retire/squash time, so all lines of one
 //! instruction are contiguous as the parser requires.
+//!
+//! # SPT event lines
+//!
+//! A sink built with [`O3PipeViewSink::with_events`] additionally writes
+//! one `SPTEvent:` line per SPT security event, in stream order (always
+//! *between* instruction blocks, never inside one, because each block is
+//! written atomically at retire/squash):
+//!
+//! ```text
+//! SPTEvent:taint:<cycle>:<seq>:<phys>
+//! SPTEvent:untaint:<cycle>:<phys>:<mechanism>:<producer-seq>
+//! SPTEvent:xmit-delay:<cycle>:<seq>:0x<pc>
+//! SPTEvent:resolve-defer:<cycle>:<seq>:0x<pc>
+//! ```
+//!
+//! Cycles in event lines are plain machine cycles (not ticks). Konata and
+//! gem5's own tooling key on the `O3PipeView:` prefix and skip foreign
+//! lines; strict consumers can drop them with `grep -v '^SPTEvent:'`.
+//! [`parse_o3_trace`] understands both line families and preserves the
+//! interleaving, so emit → parse → [`ParsedTrace::reemit`] is
+//! byte-identical.
 
 use crate::json::Json;
 use std::fmt;
@@ -81,6 +104,12 @@ pub enum SptTraceEvent {
         phys: u32,
         /// Untaint mechanism label (e.g. `"fwd"`, `"shadow_l1"`).
         mechanism: &'static str,
+        /// Sequence number of the instruction whose rename tainted `phys`
+        /// (the producer of the taint episode that just ended); 0 when the
+        /// birth was not observed (e.g. sink attached mid-run). Lets the
+        /// attribution tooling tie an untaint broadcast back to the
+        /// instruction whose output it declassifies.
+        seq: u64,
     },
     /// A ready transmitter was held back this cycle because an operand was
     /// still tainted.
@@ -173,54 +202,97 @@ impl Clone for TraceHandle {
     }
 }
 
-/// Writes gem5 O3PipeView records to any [`Write`] target.
+/// Renders one 7-line O3PipeView record block, exactly as
+/// [`O3PipeViewSink`] writes it (shared with [`ParsedTrace::reemit`] so
+/// round-tripping is byte-identical).
+pub fn o3_block(rec: &InstRecord<'_>) -> String {
+    use fmt::Write as _;
+    let tick = |c: u64| c * TICKS_PER_CYCLE;
+    // fetch tick 0 is reserved-ish in viewers; the machine's first
+    // fetch happens at cycle 0, so shift every stage by one cycle.
+    let fetch = tick(rec.fetch_cycle + 1);
+    let rename = tick(rec.rename_cycle + 1);
+    let mut out = String::with_capacity(160 + rec.disasm.len());
+    let _ = writeln!(
+        out,
+        "O3PipeView:fetch:{fetch}:0x{pc:016x}:0:{seq}:{disasm}",
+        pc = rec.pc,
+        seq = rec.seq,
+        disasm = rec.disasm
+    );
+    // This pipeline has no distinct decode stage; gem5's importer
+    // requires the line, so it coincides with fetch-queue entry.
+    let _ = writeln!(out, "O3PipeView:decode:{fetch}");
+    let _ = writeln!(out, "O3PipeView:rename:{rename}");
+    // Rename and dispatch are a single stage here.
+    let _ = writeln!(out, "O3PipeView:dispatch:{rename}");
+    let issue = rec.issue_cycle.map(|c| tick(c + 1)).unwrap_or(0);
+    let _ = writeln!(out, "O3PipeView:issue:{issue}");
+    let complete = rec.complete_cycle.map(|c| tick(c + 1)).unwrap_or(0);
+    let _ = writeln!(out, "O3PipeView:complete:{complete}");
+    // Squashed instructions carry retire tick 0.
+    let retire = rec.retire_cycle.map(|c| tick(c + 1)).unwrap_or(0);
+    let _ = writeln!(out, "O3PipeView:retire:{retire}:store:0");
+    out
+}
+
+/// Renders one `SPTEvent:` line (shared between the emitter and
+/// [`ParsedEvent::line`], so round-tripping is byte-identical).
+pub fn o3_event_line(cycle: u64, ev: &SptTraceEvent) -> String {
+    match *ev {
+        SptTraceEvent::TaintDest { seq, phys } => format!("SPTEvent:taint:{cycle}:{seq}:{phys}\n"),
+        SptTraceEvent::Untaint { phys, mechanism, seq } => {
+            format!("SPTEvent:untaint:{cycle}:{phys}:{mechanism}:{seq}\n")
+        }
+        SptTraceEvent::TransmitterDelayed { seq, pc } => {
+            format!("SPTEvent:xmit-delay:{cycle}:{seq}:0x{pc:016x}\n")
+        }
+        SptTraceEvent::ResolutionDeferred { seq, pc } => {
+            format!("SPTEvent:resolve-defer:{cycle}:{seq}:0x{pc:016x}\n")
+        }
+    }
+}
+
+/// Writes gem5 O3PipeView records to any [`Write`] target, optionally
+/// interleaved with `SPTEvent:` lines (see the module docs).
 pub struct O3PipeViewSink<W: Write> {
     out: io::BufWriter<W>,
     error: Option<io::Error>,
+    events: bool,
 }
 
 impl<W: Write> O3PipeViewSink<W> {
-    /// Creates a sink writing to `out`.
+    /// Creates a sink writing pure O3PipeView record blocks to `out`.
     pub fn new(out: W) -> Self {
-        O3PipeViewSink { out: io::BufWriter::new(out), error: None }
+        O3PipeViewSink { out: io::BufWriter::new(out), error: None, events: false }
     }
 
-    fn emit(&mut self, rec: &InstRecord<'_>) -> io::Result<()> {
-        let tick = |c: u64| c * TICKS_PER_CYCLE;
-        // fetch tick 0 is reserved-ish in viewers; the machine's first
-        // fetch happens at cycle 0, so shift every stage by one cycle.
-        let fetch = tick(rec.fetch_cycle + 1);
-        let rename = tick(rec.rename_cycle + 1);
-        writeln!(
-            self.out,
-            "O3PipeView:fetch:{fetch}:0x{pc:016x}:0:{seq}:{disasm}",
-            pc = rec.pc,
-            seq = rec.seq,
-            disasm = rec.disasm
-        )?;
-        // This pipeline has no distinct decode stage; gem5's importer
-        // requires the line, so it coincides with fetch-queue entry.
-        writeln!(self.out, "O3PipeView:decode:{fetch}")?;
-        writeln!(self.out, "O3PipeView:rename:{rename}")?;
-        // Rename and dispatch are a single stage here.
-        writeln!(self.out, "O3PipeView:dispatch:{rename}")?;
-        let issue = rec.issue_cycle.map(|c| tick(c + 1)).unwrap_or(0);
-        writeln!(self.out, "O3PipeView:issue:{issue}")?;
-        let complete = rec.complete_cycle.map(|c| tick(c + 1)).unwrap_or(0);
-        writeln!(self.out, "O3PipeView:complete:{complete}")?;
-        // Squashed instructions carry retire tick 0.
-        let retire = rec.retire_cycle.map(|c| tick(c + 1)).unwrap_or(0);
-        writeln!(self.out, "O3PipeView:retire:{retire}:store:0")?;
-        Ok(())
+    /// Creates a sink that also writes one `SPTEvent:` line per SPT
+    /// security event — the format the `tracediff` attribution tool
+    /// expects (viewers that key on the `O3PipeView:` prefix skip them).
+    pub fn with_events(out: W) -> Self {
+        O3PipeViewSink { out: io::BufWriter::new(out), error: None, events: true }
+    }
+
+    fn write_str(&mut self, s: &str) {
+        if self.error.is_none() {
+            if let Err(e) = self.out.write_all(s.as_bytes()) {
+                self.error = Some(e);
+            }
+        }
     }
 }
 
 impl<W: Write> TraceSink for O3PipeViewSink<W> {
     fn inst(&mut self, rec: &InstRecord<'_>) {
-        if self.error.is_none() {
-            if let Err(e) = self.emit(rec) {
-                self.error = Some(e);
-            }
+        let block = o3_block(rec);
+        self.write_str(&block);
+    }
+
+    fn event(&mut self, cycle: u64, ev: &SptTraceEvent) {
+        if self.events {
+            let line = o3_event_line(cycle, ev);
+            self.write_str(&line);
         }
     }
 
@@ -265,6 +337,28 @@ pub struct OwnedInstRecord {
     pub squash_cycle: Option<u64>,
 }
 
+impl OwnedInstRecord {
+    /// A borrowed view suitable for re-emission through a [`TraceSink`].
+    pub fn as_record(&self) -> InstRecord<'_> {
+        InstRecord {
+            seq: self.seq,
+            pc: self.pc,
+            disasm: &self.disasm,
+            fetch_cycle: self.fetch_cycle,
+            rename_cycle: self.rename_cycle,
+            issue_cycle: self.issue_cycle,
+            complete_cycle: self.complete_cycle,
+            retire_cycle: self.retire_cycle,
+            squash_cycle: self.squash_cycle,
+        }
+    }
+
+    /// Whether the record describes a retired (vs. squashed) instruction.
+    pub fn retired(&self) -> bool {
+        self.retire_cycle.is_some()
+    }
+}
+
 impl MemorySink {
     /// Creates an empty sink.
     pub fn new() -> Self {
@@ -301,26 +395,223 @@ pub struct O3TraceSummary {
     pub retired: u64,
     /// Blocks with retire tick 0 (squashed).
     pub squashed: u64,
+    /// `SPTEvent:` lines.
+    pub events: u64,
 }
 
-/// Strictly validates an O3PipeView trace: every line must belong to a
-/// well-formed 7-line record block (`fetch`, `decode`, `rename`,
-/// `dispatch`, `issue`, `complete`, `retire`), monotone non-decreasing
-/// ticks within a block (ignoring the 0 "never reached" marker).
+/// One parsed `SPTEvent:` line (an [`SptTraceEvent`] with owned strings
+/// plus its position in the stream).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsedEvent {
+    /// Machine cycle the event occurred.
+    pub cycle: u64,
+    /// Number of instruction blocks that preceded this line — preserves
+    /// the emission interleaving so [`ParsedTrace::reemit`] is exact.
+    pub after_block: u64,
+    /// The event payload.
+    pub kind: ParsedEventKind,
+}
+
+/// Owned payload of a parsed `SPTEvent:` line. Field meanings mirror
+/// [`SptTraceEvent`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParsedEventKind {
+    /// `SPTEvent:taint:` — a destination register was born tainted.
+    Taint {
+        /// Producing instruction.
+        seq: u64,
+        /// Tainted physical register.
+        phys: u32,
+    },
+    /// `SPTEvent:untaint:` — a physical register was untainted.
+    Untaint {
+        /// Untainted physical register.
+        phys: u32,
+        /// Untaint mechanism label.
+        mechanism: String,
+        /// Producer seq of the ended taint episode (0 = unknown).
+        seq: u64,
+    },
+    /// `SPTEvent:xmit-delay:` — a ready transmitter was held this cycle.
+    TransmitterDelayed {
+        /// Blocked transmitter.
+        seq: u64,
+        /// Its program counter.
+        pc: u64,
+    },
+    /// `SPTEvent:resolve-defer:` — a branch's resolution was deferred.
+    ResolutionDeferred {
+        /// Deferred branch (or store with a pending violation).
+        seq: u64,
+        /// Its program counter.
+        pc: u64,
+    },
+}
+
+impl ParsedEvent {
+    /// Renders the line exactly as the emitter wrote it.
+    pub fn line(&self) -> String {
+        match &self.kind {
+            ParsedEventKind::Taint { seq, phys } => {
+                format!("SPTEvent:taint:{}:{seq}:{phys}\n", self.cycle)
+            }
+            ParsedEventKind::Untaint { phys, mechanism, seq } => {
+                format!("SPTEvent:untaint:{}:{phys}:{mechanism}:{seq}\n", self.cycle)
+            }
+            ParsedEventKind::TransmitterDelayed { seq, pc } => {
+                format!("SPTEvent:xmit-delay:{}:{seq}:0x{pc:016x}\n", self.cycle)
+            }
+            ParsedEventKind::ResolutionDeferred { seq, pc } => {
+                format!("SPTEvent:resolve-defer:{}:{seq}:0x{pc:016x}\n", self.cycle)
+            }
+        }
+    }
+}
+
+/// A fully parsed trace: instruction records in emission order plus every
+/// `SPTEvent:` line with its interleaving position.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ParsedTrace {
+    /// Instruction records, in emission (retire/squash) order.
+    pub records: Vec<OwnedInstRecord>,
+    /// Event lines, in emission order.
+    pub events: Vec<ParsedEvent>,
+}
+
+impl ParsedTrace {
+    /// Block/event counts, as [`validate_o3_trace`] reports them.
+    pub fn summary(&self) -> O3TraceSummary {
+        let retired = self.records.iter().filter(|r| r.retired()).count() as u64;
+        O3TraceSummary {
+            instructions: self.records.len() as u64,
+            retired,
+            squashed: self.records.len() as u64 - retired,
+            events: self.events.len() as u64,
+        }
+    }
+
+    /// Re-emits the trace text. For traces produced by
+    /// [`O3PipeViewSink`], the output is byte-identical to the input of
+    /// [`parse_o3_trace`] (the round-trip the proptest pins).
+    pub fn reemit(&self) -> String {
+        let mut out = String::new();
+        let mut ev = self.events.iter().peekable();
+        for (i, rec) in self.records.iter().enumerate() {
+            while let Some(e) = ev.peek() {
+                if e.after_block <= i as u64 {
+                    out.push_str(&e.line());
+                    ev.next();
+                } else {
+                    break;
+                }
+            }
+            out.push_str(&o3_block(&rec.as_record()));
+        }
+        for e in ev {
+            out.push_str(&e.line());
+        }
+        out
+    }
+
+    /// The retired records, in retire order (the order blocks are
+    /// emitted), paired with their 0-based retire rank.
+    pub fn retired(&self) -> impl Iterator<Item = (u64, &OwnedInstRecord)> {
+        self.records.iter().filter(|r| r.retired()).enumerate().map(|(i, r)| (i as u64, r))
+    }
+
+    /// Cycle of the last retirement (0 for a trace with no retired
+    /// records).
+    pub fn last_retire_cycle(&self) -> u64 {
+        self.records.iter().filter_map(|r| r.retire_cycle).max().unwrap_or(0)
+    }
+}
+
+/// Converts a non-zero O3PipeView tick back to the machine cycle the
+/// emitter encoded (`tick = (cycle + 1) * TICKS_PER_CYCLE`).
+fn tick_to_cycle(tick: u64, lineno: usize) -> Result<u64, String> {
+    if !tick.is_multiple_of(TICKS_PER_CYCLE) || tick == 0 {
+        return Err(format!(
+            "line {lineno}: tick {tick} is not a positive multiple of {TICKS_PER_CYCLE}"
+        ));
+    }
+    Ok(tick / TICKS_PER_CYCLE - 1)
+}
+
+fn parse_event_line(rest: &str, lineno: usize, after_block: u64) -> Result<ParsedEvent, String> {
+    let err = |what: &str| format!("line {lineno}: {what}");
+    let fields: Vec<&str> = rest.split(':').collect();
+    let num = |s: &str, what: &str| -> Result<u64, String> {
+        s.parse::<u64>().map_err(|_| err(&format!("bad {what} `{s}`")))
+    };
+    let pc_of = |s: &str| -> Result<u64, String> {
+        let hex = s.strip_prefix("0x").ok_or_else(|| err(&format!("bad pc `{s}`")))?;
+        u64::from_str_radix(hex, 16).map_err(|_| err(&format!("bad pc `{s}`")))
+    };
+    let kind = match fields.first().copied() {
+        Some("taint") if fields.len() == 4 => ParsedEventKind::Taint {
+            seq: num(fields[2], "seq")?,
+            phys: num(fields[3], "phys")? as u32,
+        },
+        Some("untaint") if fields.len() == 5 => ParsedEventKind::Untaint {
+            phys: num(fields[2], "phys")? as u32,
+            mechanism: fields[3].to_string(),
+            seq: num(fields[4], "seq")?,
+        },
+        Some("xmit-delay") if fields.len() == 4 => ParsedEventKind::TransmitterDelayed {
+            seq: num(fields[2], "seq")?,
+            pc: pc_of(fields[3])?,
+        },
+        Some("resolve-defer") if fields.len() == 4 => ParsedEventKind::ResolutionDeferred {
+            seq: num(fields[2], "seq")?,
+            pc: pc_of(fields[3])?,
+        },
+        _ => return Err(err("malformed SPTEvent record")),
+    };
+    let cycle = num(fields[1], "cycle")?;
+    Ok(ParsedEvent { cycle, after_block, kind })
+}
+
+/// Strictly parses an O3PipeView trace (optionally with interleaved
+/// `SPTEvent:` lines) into instruction records and events.
 ///
-/// Used by the CLI tests and the CI observability gate.
+/// Strictness matches the old inline validator and then some: every
+/// `O3PipeView:` line must belong to a well-formed 7-line record block
+/// (`fetch`, `decode`, `rename`, `dispatch`, `issue`, `complete`,
+/// `retire`) with monotone non-decreasing ticks within a block (ignoring
+/// the 0 "never reached" marker), ticks must be positive multiples of
+/// [`TICKS_PER_CYCLE`], and `SPTEvent:` lines may only appear between
+/// blocks.
 ///
 /// # Errors
 ///
 /// Returns a message naming the first offending line (1-based).
-pub fn validate_o3_trace(text: &str) -> Result<O3TraceSummary, String> {
+pub fn parse_o3_trace(text: &str) -> Result<ParsedTrace, String> {
     const STAGES: [&str; 7] =
         ["fetch", "decode", "rename", "dispatch", "issue", "complete", "retire"];
-    let mut summary = O3TraceSummary::default();
+    let mut trace = ParsedTrace::default();
     let mut stage_idx = 0usize; // next expected stage within the block
     let mut last_tick = 0u64;
+    // Fields of the block being assembled.
+    let mut cur = OwnedInstRecord {
+        seq: 0,
+        pc: 0,
+        disasm: String::new(),
+        fetch_cycle: 0,
+        rename_cycle: 0,
+        issue_cycle: None,
+        complete_cycle: None,
+        retire_cycle: None,
+        squash_cycle: None,
+    };
     for (lineno, line) in text.lines().enumerate() {
         let lineno = lineno + 1;
+        if let Some(rest) = line.strip_prefix("SPTEvent:") {
+            if stage_idx != 0 {
+                return Err(format!("line {lineno}: SPTEvent inside a record block"));
+            }
+            trace.events.push(parse_event_line(rest, lineno, trace.records.len() as u64)?);
+            continue;
+        }
         let rest = line
             .strip_prefix("O3PipeView:")
             .ok_or_else(|| format!("line {lineno}: missing O3PipeView prefix"))?;
@@ -339,12 +630,13 @@ pub fn validate_o3_trace(text: &str) -> Result<O3TraceSummary, String> {
                 if fields.len() != 5 || !fields[1].starts_with("0x") {
                     return Err(format!("line {lineno}: malformed fetch record"));
                 }
-                u64::from_str_radix(&fields[1][2..], 16)
+                cur.pc = u64::from_str_radix(&fields[1][2..], 16)
                     .map_err(|_| format!("line {lineno}: bad pc `{}`", fields[1]))?;
-                fields[3]
+                cur.seq = fields[3]
                     .parse::<u64>()
                     .map_err(|_| format!("line {lineno}: bad seq `{}`", fields[3]))?;
-                summary.instructions += 1;
+                cur.disasm = fields[4].to_string();
+                cur.fetch_cycle = tick_to_cycle(tick, lineno)?;
                 last_tick = tick;
             }
             "retire" => {
@@ -352,12 +644,12 @@ pub fn validate_o3_trace(text: &str) -> Result<O3TraceSummary, String> {
                     return Err(format!("line {lineno}: retire record missing store field"));
                 }
                 if tick == 0 {
-                    summary.squashed += 1;
+                    cur.retire_cycle = None;
                 } else {
                     if tick < last_tick {
                         return Err(format!("line {lineno}: retire tick regressed"));
                     }
-                    summary.retired += 1;
+                    cur.retire_cycle = Some(tick_to_cycle(tick, lineno)?);
                 }
             }
             _ => {
@@ -367,15 +659,53 @@ pub fn validate_o3_trace(text: &str) -> Result<O3TraceSummary, String> {
                         return Err(format!("line {lineno}: tick regressed in `{expected}`"));
                     }
                     last_tick = tick;
+                    let cycle = tick_to_cycle(tick, lineno)?;
+                    match expected {
+                        "rename" => cur.rename_cycle = cycle,
+                        "issue" => cur.issue_cycle = Some(cycle),
+                        "complete" => cur.complete_cycle = Some(cycle),
+                        // decode/dispatch coincide with fetch/rename in
+                        // this pipeline; their ticks are validated but not
+                        // stored.
+                        _ => {}
+                    }
                 }
             }
         }
         stage_idx = (stage_idx + 1) % STAGES.len();
+        if stage_idx == 0 {
+            trace.records.push(std::mem::replace(
+                &mut cur,
+                OwnedInstRecord {
+                    seq: 0,
+                    pc: 0,
+                    disasm: String::new(),
+                    fetch_cycle: 0,
+                    rename_cycle: 0,
+                    issue_cycle: None,
+                    complete_cycle: None,
+                    retire_cycle: None,
+                    squash_cycle: None,
+                },
+            ));
+        }
     }
     if stage_idx != 0 {
         return Err("trace ends mid-record".into());
     }
-    Ok(summary)
+    Ok(trace)
+}
+
+/// Strictly validates an O3PipeView trace and reports block counts.
+///
+/// This is [`parse_o3_trace`] with the records thrown away — kept as the
+/// cheap entry point for the CLI tests and the CI observability gate.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line (1-based).
+pub fn validate_o3_trace(text: &str) -> Result<O3TraceSummary, String> {
+    parse_o3_trace(text).map(|t| t.summary())
 }
 
 /// Renders a trace-validation summary as JSON (used by the CI gate's
@@ -385,6 +715,7 @@ pub fn o3_summary_json(s: &O3TraceSummary) -> Json {
         ("instructions", Json::U64(s.instructions)),
         ("retired", Json::U64(s.retired)),
         ("squashed", Json::U64(s.squashed)),
+        ("events", Json::U64(s.events)),
     ])
 }
 
@@ -406,6 +737,16 @@ mod tests {
         }
     }
 
+    fn squashed(seq: u64) -> InstRecord<'static> {
+        InstRecord {
+            issue_cycle: None,
+            complete_cycle: None,
+            retire_cycle: None,
+            squash_cycle: Some(seq + 7),
+            ..rec(seq)
+        }
+    }
+
     #[test]
     fn o3_emitter_output_validates() {
         let mut buf = Vec::new();
@@ -413,14 +754,7 @@ mod tests {
             let mut sink = O3PipeViewSink::new(&mut buf);
             sink.inst(&rec(0));
             sink.inst(&rec(1));
-            let squashed = InstRecord {
-                issue_cycle: None,
-                complete_cycle: None,
-                retire_cycle: None,
-                squash_cycle: Some(9),
-                ..rec(2)
-            };
-            sink.inst(&squashed);
+            sink.inst(&squashed(2));
             sink.flush().unwrap();
         }
         let text = String::from_utf8(buf).unwrap();
@@ -459,10 +793,90 @@ mod tests {
     #[test]
     fn memory_sink_captures_events() {
         let mut sink = MemorySink::new();
-        sink.event(3, &SptTraceEvent::Untaint { phys: 7, mechanism: "fwd" });
+        sink.event(3, &SptTraceEvent::Untaint { phys: 7, mechanism: "fwd", seq: 12 });
         sink.inst(&rec(5));
         assert_eq!(sink.events.len(), 1);
         assert_eq!(sink.insts[0].seq, 5);
         assert_eq!(sink.insts[0].retire_cycle, Some(9));
+    }
+
+    #[test]
+    fn parse_recovers_cycles_exactly() {
+        let mut buf = Vec::new();
+        {
+            let mut sink = O3PipeViewSink::new(&mut buf);
+            sink.inst(&rec(3));
+            sink.inst(&squashed(4));
+            sink.flush().unwrap();
+        }
+        let trace = parse_o3_trace(&String::from_utf8(buf).unwrap()).unwrap();
+        assert_eq!(trace.records.len(), 2);
+        let r = &trace.records[0];
+        assert_eq!((r.seq, r.pc), (3, 0x40 + 12));
+        assert_eq!(r.fetch_cycle, 3);
+        assert_eq!(r.rename_cycle, 4);
+        assert_eq!(r.issue_cycle, Some(5));
+        assert_eq!(r.complete_cycle, Some(6));
+        assert_eq!(r.retire_cycle, Some(7));
+        assert_eq!(r.disasm, "add r1, r2, r3");
+        let s = &trace.records[1];
+        assert!(!s.retired());
+        assert_eq!(s.issue_cycle, None);
+        assert_eq!(trace.last_retire_cycle(), 7);
+        assert_eq!(trace.retired().count(), 1);
+    }
+
+    #[test]
+    fn event_lines_parse_and_interleave() {
+        let mut buf = Vec::new();
+        {
+            let mut sink = O3PipeViewSink::with_events(&mut buf);
+            sink.event(2, &SptTraceEvent::TaintDest { seq: 1, phys: 33 });
+            sink.inst(&rec(0));
+            sink.event(9, &SptTraceEvent::TransmitterDelayed { seq: 2, pc: 0x48 });
+            sink.event(10, &SptTraceEvent::Untaint { phys: 33, mechanism: "shadow-l1", seq: 1 });
+            sink.inst(&rec(1));
+            sink.event(11, &SptTraceEvent::ResolutionDeferred { seq: 3, pc: 0x50 });
+            sink.flush().unwrap();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        let trace = parse_o3_trace(&text).unwrap();
+        assert_eq!(trace.summary().events, 4);
+        assert_eq!(trace.events[0].after_block, 0);
+        assert_eq!(trace.events[1].after_block, 1);
+        assert_eq!(trace.events[3].after_block, 2);
+        assert_eq!(
+            trace.events[2].kind,
+            ParsedEventKind::Untaint { phys: 33, mechanism: "shadow-l1".into(), seq: 1 }
+        );
+        assert_eq!(trace.events[3].kind, ParsedEventKind::ResolutionDeferred { seq: 3, pc: 0x50 });
+        // The old strict validator contract still holds on event traces.
+        let summary = validate_o3_trace(&text).unwrap();
+        assert_eq!(summary.instructions, 2);
+    }
+
+    #[test]
+    fn event_line_inside_block_is_rejected() {
+        let text = "O3PipeView:fetch:500:0x0000000000000040:0:0:nop\n\
+                    SPTEvent:taint:1:2:3\n";
+        assert!(parse_o3_trace(text).unwrap_err().contains("inside a record block"));
+    }
+
+    #[test]
+    fn roundtrip_is_byte_identical() {
+        let mut buf = Vec::new();
+        {
+            let mut sink = O3PipeViewSink::with_events(&mut buf);
+            sink.event(0, &SptTraceEvent::TaintDest { seq: 7, phys: 5 });
+            sink.inst(&rec(0));
+            sink.inst(&squashed(1));
+            sink.event(12, &SptTraceEvent::Untaint { phys: 5, mechanism: "forward", seq: 7 });
+            sink.inst(&rec(2));
+            sink.event(20, &SptTraceEvent::TransmitterDelayed { seq: 9, pc: 0xabc });
+            sink.flush().unwrap();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        let trace = parse_o3_trace(&text).unwrap();
+        assert_eq!(trace.reemit(), text);
     }
 }

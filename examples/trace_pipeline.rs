@@ -29,7 +29,9 @@ fn main() {
     let file = std::fs::File::create(trace_path).expect("create trace file");
 
     let mut m = prepare_machine(w, cfg);
-    m.set_trace_sink(Box::new(O3PipeViewSink::new(file)));
+    // `with_events` interleaves SPTEvent: lines (taint/untaint/stall
+    // causes) that `tracediff` consumes; Konata skips them.
+    m.set_trace_sink(Box::new(O3PipeViewSink::with_events(file)));
     m.enable_telemetry();
     run_prepared(&mut m, w, cfg, budget).expect("run completes");
     m.take_trace_sink().expect("sink attached").flush().expect("trace written");
